@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 10 — CPU/FPGA task assignment comparison."""
+
+from __future__ import annotations
+
+from repro.experiments.fig10 import run_fig10_task_assignment
+
+from conftest import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
+
+
+def test_fig10_task_assignment(benchmark):
+    result = run_once(
+        benchmark, run_fig10_task_assignment, FIGURE_NAMES, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(result.format())
+    average = result.extras["average_speedup"]
+    # Paper: keeping insert & update on the CPU is ~1.2x faster on average.
+    assert 1.05 <= average <= 1.7
+    for row in result.rows[:-1]:
+        assert row[3] >= 1.0  # never slower to keep update on the CPU

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate the Fig. 2 motivation measurements.
+
+* Fig. 2(a): multi-threaded CPU scaling (saturation around 1.8x);
+* Fig. 2(b)(c): CPU-GPU legalizer parallelism vs CUDA cores and overheads;
+* Fig. 2(g): cell-shifting share of FOP runtime (> 60 %).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import run_fig2_parallelism, run_fig2_scaling, run_fig2_shift_share
+
+from conftest import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
+
+
+def test_fig2a_thread_scaling(benchmark):
+    result = run_once(
+        benchmark, run_fig2_scaling, "edit_dist_a_md3", scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(result.format())
+    speedups = result.column("speedup")
+    assert speedups[1] < 1.4  # 2 threads: only ~20-25% faster
+    assert speedups[-1] <= 1.9  # saturation
+
+
+def test_fig2bc_gpu_parallelism(benchmark):
+    result = run_once(
+        benchmark, run_fig2_parallelism, FIGURE_NAMES[:4], scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(result.format())
+    for row in result.rows:
+        assert row[2] < row[1]  # achievable parallelism below the core count
+
+
+def test_fig2g_cell_shift_share(benchmark):
+    result = run_once(
+        benchmark, run_fig2_shift_share, FIGURE_NAMES[:4], scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(result.format())
+    for row in result.rows:
+        assert row[1] > 0.6  # cell shifting dominates FOP (paper: >60%)

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 6(g) — SACS pre-sorting cost share."""
+
+from __future__ import annotations
+
+from repro.experiments.fig6 import run_fig6_sorting_share
+
+from conftest import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
+
+
+def test_fig6g_sorting_share(benchmark):
+    result = run_once(
+        benchmark, run_fig6_sorting_share, FIGURE_NAMES[:4], scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(result.format())
+    for row in result.rows:
+        presort_share, all_sorting_share = row[1], row[2]
+        assert presort_share < 0.15  # an acceptable overhead (paper: ~10%)
+        assert all_sorting_share < 0.35

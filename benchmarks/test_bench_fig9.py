@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 9 — SACS optimisations vs tall-cell ratio."""
+
+from __future__ import annotations
+
+from repro.experiments.fig9 import run_fig9_sacs
+
+from conftest import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
+
+
+def test_fig9_sacs_optimisations(benchmark):
+    result = run_once(
+        benchmark, run_fig9_sacs, FIGURE_NAMES, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(result.format())
+    rows = {row[0]: row for row in result.rows}
+    # Cumulative speedups must be monotone and in the paper's overall range.
+    for row in result.rows:
+        assert row[2] <= row[3] <= row[4] <= row[5] * 1.001
+        assert 1.3 <= row[5] <= 3.6
+    # The bandwidth-optimisation gain grows with the tall-cell proportion:
+    # pci_b_a_md2 (the tallest mix) must benefit more than des_perf_b_md1
+    # (no cells taller than three rows).
+    assert rows["pci_b_a_md2"][6] > rows["des_perf_b_md1"][6]

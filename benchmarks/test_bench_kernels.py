@@ -1,0 +1,139 @@
+"""Micro-benchmarks of the core kernels (ablation-style).
+
+These complement the table/figure regenerations with pytest-benchmark
+timings of the two cell-shifting engines and the two curve-pipeline
+organisations on identical inputs, plus the sliding-window ordering
+against the plain size ordering — the design choices DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import DesignSpec, generate_design
+from repro.core.ordering import SlidingWindowOrdering
+from repro.core.sacs import SortAheadShifter, build_sacs_context, shift_cells_sacs
+from repro.geometry import Cell, Window
+from repro.mgl.curves import minimize_curves, minimize_curves_fwd_bwd
+from repro.mgl.fop import FOPConfig, build_curves, find_optimal_position
+from repro.mgl.insertion import enumerate_all_insertion_points
+from repro.mgl.legalizer import size_descending_order
+from repro.mgl.local_region import build_local_region
+from repro.mgl.premove import premove
+from repro.mgl.shifting import build_row_view, shift_cells_original
+
+
+def _obstacle_region(num_cells=260, density=0.65, seed=13, target_height=2):
+    """A realistic localRegion over a legalized neighbourhood."""
+    spec = DesignSpec(
+        name="bench", num_cells=num_cells, density=density, seed=seed,
+        perturbation_x=0.0, perturbation_y=0.0,
+    )
+    layout = generate_design(spec)
+    premove(layout)
+    accepted = []
+    for cell in layout.movable_cells():
+        if not any(cell.overlaps(o) for o in accepted):
+            cell.legalized = True
+            accepted.append(cell)
+    layout.rebuild_index()
+    target = Cell(
+        index=len(layout.cells), width=4.0, height=target_height,
+        gp_x=layout.width / 2, gp_y=layout.height / 2,
+    )
+    layout.add_cell(target)
+    window = Window(
+        layout.width * 0.25, layout.width * 0.75, 0, layout.num_rows
+    )
+    region, _ = build_local_region(layout, target, window)
+    points = list(enumerate_all_insertion_points(region, target))
+    return layout, target, region, points
+
+
+@pytest.fixture(scope="module")
+def shifting_case():
+    return _obstacle_region()
+
+
+def test_bench_original_cell_shifting(benchmark, shifting_case):
+    """Multi-pass cell shifting over every insertion point of a region."""
+    _, target, region, points = shifting_case
+    view = build_row_view(region)
+
+    def run():
+        return [shift_cells_original(region, target, p, view) for p in points]
+
+    outcomes = benchmark(run)
+    assert any(o.feasible for o in outcomes)
+
+
+def test_bench_sacs_cell_shifting(benchmark, shifting_case):
+    """Single-pass SACS over the same insertion points (should be faster)."""
+    _, target, region, points = shifting_case
+    context = build_sacs_context(region)
+
+    def run():
+        return [shift_cells_sacs(region, target, p, context) for p in points]
+
+    outcomes = benchmark(run)
+    assert any(o.feasible for o in outcomes)
+
+
+def test_bench_curve_pipeline_original(benchmark, shifting_case):
+    """Original five-stage breakpoint pipeline over a region's curves."""
+    _, target, region, points = shifting_case
+    context = build_sacs_context(region)
+    cases = []
+    for p in points[:64]:
+        outcome = shift_cells_sacs(region, target, p, context)
+        if outcome.feasible:
+            pieces, const = build_curves(region, target, p.bottom_row, outcome, 10.0)
+            cases.append((pieces, const, outcome.xt_lo, outcome.xt_hi))
+
+    def run():
+        return [minimize_curves(p, c, lo, hi) for p, c, lo, hi in cases]
+
+    results = benchmark(run)
+    assert results
+
+
+def test_bench_curve_pipeline_fwd_bwd(benchmark, shifting_case):
+    """Reorganised fwdtraverse/bwdtraverse pipeline on the same curves."""
+    _, target, region, points = shifting_case
+    context = build_sacs_context(region)
+    cases = []
+    for p in points[:64]:
+        outcome = shift_cells_sacs(region, target, p, context)
+        if outcome.feasible:
+            pieces, const = build_curves(region, target, p.bottom_row, outcome, 10.0)
+            cases.append((pieces, const, outcome.xt_lo, outcome.xt_hi))
+
+    def run():
+        return [minimize_curves_fwd_bwd(p, c, lo, hi) for p, c, lo, hi in cases]
+
+    results = benchmark(run)
+    assert results
+
+
+def test_bench_fop_single_target(benchmark, shifting_case):
+    """Full FOP (loop1-3) for one target cell."""
+    _, target, region, _ = shifting_case
+
+    def run():
+        return find_optimal_position(region, target, FOPConfig(shifter=SortAheadShifter()))
+
+    result = benchmark(run)
+    assert result.feasible
+
+
+def test_bench_orderings(benchmark):
+    """Sliding-window ordering vs plain size ordering on one design."""
+    layout = generate_design(DesignSpec(name="ord", num_cells=800, density=0.6, seed=3))
+    cells = layout.movable_cells()
+    ordering = SlidingWindowOrdering(window_size=8)
+
+    def run():
+        return ordering(layout, cells), size_descending_order(layout, cells)
+
+    window_order, size_order = benchmark(run)
+    assert len(window_order) == len(size_order) == len(cells)

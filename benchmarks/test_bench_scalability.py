@@ -1,0 +1,25 @@
+"""Benchmark: the Sec. 5.4 scalability comparison (FLEX PEs vs CPU threads)."""
+
+from __future__ import annotations
+
+from repro.experiments.scalability import run_scalability
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+
+def test_scalability_flex_vs_cpu(benchmark):
+    result = run_once(
+        benchmark, run_scalability, "des_perf_b_md2", scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(result.format())
+    flex_rows = [r for r in result.rows if r[0].startswith("FLEX")]
+    cpu_rows = [r for r in result.rows if r[0].startswith("CPU")]
+    # FLEX: near-linear up to 2 PEs (paper: ~1.7x), still improving at 3.
+    assert 1.5 <= flex_rows[1][2] <= 2.0
+    assert flex_rows[2][2] > flex_rows[1][2]
+    # CPU: saturates around 1.8x.
+    assert cpu_rows[-1][2] <= 1.85
+    # FLEX's 2-PE self-speedup beats the CPU's 8-thread self-speedup ratio
+    # relative to the added hardware (2x PEs vs 8x threads).
+    assert flex_rows[1][2] > cpu_rows[-1][2] / 2

@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Table 1 (overall comparison) on the scaled suite.
+
+Runs the four legalizers (TCAD'22-style MGL, DATE'22-style CPU-GPU,
+ISPD'25-style analytical, FLEX) on every Table 1 benchmark and prints the
+AveDis / modeled-runtime / speedup rows.
+"""
+
+from __future__ import annotations
+
+from repro.benchgen.iccad2017 import benchmark_names
+from repro.experiments.table1 import run_table1
+
+from conftest import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
+
+
+def test_table1_subset(benchmark):
+    """Table 1 on the six-design figure subset (fast)."""
+    result = run_once(
+        benchmark, run_table1, FIGURE_NAMES, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(result.format())
+    acc_t = result.extras["geomean_acc_t"]
+    assert acc_t > 1.0  # FLEX wins on runtime
+    flex_col = result.headers.index("flex_avedis")
+    mgl_col = result.headers.index("mgl_avedis")
+    average_row = result.rows[-2]
+    assert average_row[flex_col] <= average_row[mgl_col] * 1.05  # quality preserved
+
+
+def test_table1_full_suite(benchmark):
+    """Table 1 on all sixteen designs (slower; the headline table)."""
+    result = run_once(
+        benchmark,
+        run_table1,
+        benchmark_names(),
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    print()
+    print(result.format())
+    assert len(result.rows) == 18  # 16 designs + Average + Ratio
+    assert result.extras["geomean_acc_t"] > 1.5
+    assert result.extras["geomean_acc_d"] > result.extras["geomean_acc_t"] * 0.8

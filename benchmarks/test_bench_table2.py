@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 2 (FPGA resource consumption)."""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import run_table2
+
+from conftest import run_once
+
+
+def test_table2_resources(benchmark):
+    result = run_once(benchmark, run_table2)
+    print()
+    print(result.format())
+    one, two = result.rows[0], result.rows[1]
+    assert one[1:5] == [59837, 67326, 391, 8]
+    assert two[1:5] == [86632, 91603, 738, 12]
+    # The second PE costs less than doubling (the region sorter is shared).
+    assert two[1] < 2 * one[1]

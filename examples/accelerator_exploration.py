@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Design-space exploration of the FLEX accelerator configuration.
+
+Run with::
+
+    python examples/accelerator_exploration.py
+
+Legalizes one design once, then replays the recorded work under different
+accelerator configurations — pipeline organisation, SACS optimisations,
+FOP PE count, CPU/FPGA task partition — reporting the modeled runtime and
+the FPGA resource cost of each point.  This is the kind of what-if study
+the behavioral model enables without re-running the (slow) algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.benchgen import iccad2017_design
+from repro.core import FlexConfig, FlexLegalizer
+from repro.core.pipeline import PipelineOrganization
+from repro.core.task_assignment import TaskPartition
+from repro.fpga import ResourceEstimator
+from repro.perf import format_table
+
+
+def main() -> None:
+    layout = iccad2017_design("des_perf_b_md2", scale=0.004)
+    print(f"design: {layout.summary()}\n")
+
+    # Run the algorithm once with the full FLEX configuration.
+    reference = FlexLegalizer().legalize(layout)
+    print("reference run:", reference.summary(), "\n")
+
+    configurations = [
+        ("FPGA baseline (normal pipeline, 1 PE)", FlexConfig(
+            pipeline=PipelineOrganization.NORMAL, use_sacs=False, fop_pe_parallelism=1,
+            sacs_architecture_opt=False, sacs_bandwidth_opt=False, sacs_parallel_moves=False,
+        )),
+        ("+ SACS", FlexConfig(
+            pipeline=PipelineOrganization.SACS_ONLY, fop_pe_parallelism=1,
+            sacs_bandwidth_opt=False, sacs_parallel_moves=False,
+        )),
+        ("+ multi-granularity pipeline", FlexConfig(
+            pipeline=PipelineOrganization.MULTI_GRANULARITY, fop_pe_parallelism=1,
+            sacs_bandwidth_opt=False, sacs_parallel_moves=False,
+        )),
+        ("+ SACS bandwidth & parallel moves", FlexConfig(fop_pe_parallelism=1)),
+        ("+ 2 FOP PEs (full FLEX)", FlexConfig(fop_pe_parallelism=2)),
+        ("3 FOP PEs (scalability headroom)", FlexConfig(fop_pe_parallelism=3)),
+        ("offload insert&update too (Fig. 10 alt.)", FlexConfig(
+            fop_pe_parallelism=2, task_partition=TaskPartition.FOP_AND_UPDATE_ON_FPGA,
+        )),
+    ]
+
+    estimator = ResourceEstimator()
+    rows = []
+    baseline_time = None
+    for label, config in configurations:
+        run = FlexLegalizer(config).model_run(reference.legalization)
+        resources = estimator.estimate(config)
+        time_ms = run.modeled_runtime_seconds * 1e3
+        if baseline_time is None:
+            baseline_time = time_ms
+        rows.append([
+            label,
+            time_ms,
+            baseline_time / time_ms,
+            resources.totals.luts,
+            resources.totals.brams,
+            "yes" if resources.fits() else "NO",
+        ])
+
+    print(format_table(
+        ["configuration", "time (ms)", "speedup", "LUTs", "BRAMs", "fits U50"], rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one go.
+
+Run with::
+
+    python examples/reproduce_paper.py [--scale 0.004] [--quick]
+
+This is a thin wrapper around ``repro.experiments.runner``; the output is
+the full plain-text report (Table 1, Table 2, Fig. 2, Fig. 6(g), Fig. 8,
+Fig. 9, Fig. 10) with the published reference values quoted in the notes.
+Expect a few minutes of runtime at the default scale — the legalizers are
+pure Python.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import main
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

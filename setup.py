@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e . --no-use-pep517`` (the legacy editable path) works
+on machines without the ``wheel`` package, e.g. offline build hosts.
+"""
+
+from setuptools import setup
+
+setup()

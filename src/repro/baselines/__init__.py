@@ -1,0 +1,39 @@
+"""Baseline legalizers and their runtime models.
+
+The paper compares FLEX against three published systems plus the classic
+single-row legalizer from Related Work.  Quality numbers are obtained by
+*running* the reimplementations below on the same synthetic designs;
+runtime numbers come from the calibrated models in :mod:`repro.perf`
+driven by the recorded work:
+
+* :class:`~repro.baselines.multithread.MultiThreadedMglBaseline` — the
+  TCAD'22 multi-threaded CPU legalizer (MGL with size ordering; runtime
+  scaled by the published thread-scaling curve);
+* :class:`~repro.baselines.cpu_gpu.CpuGpuBaseline` — the DATE'22 CPU-GPU
+  legalizer (MGL with a region-batch processing order plus the
+  GPU/CPU/synchronisation runtime model);
+* :class:`~repro.baselines.analytical.AnalyticalLegalizer` — a quadratic
+  penalty / row-assignment analytical legalizer standing in for the
+  ISPD'25 LEGALM GPU legalizer;
+* :class:`~repro.baselines.abacus.AbacusLegalizer` — the classic
+  single-row Abacus algorithm (dynamic programming per row), used in
+  examples and ablations;
+* :class:`~repro.baselines.greedy.GreedyLegalizer` — a tetris-style
+  greedy legalizer, a simple lower bound on quality.
+"""
+
+from repro.baselines.abacus import AbacusLegalizer
+from repro.baselines.greedy import GreedyLegalizer
+from repro.baselines.analytical import AnalyticalLegalizer, AnalyticalResult
+from repro.baselines.multithread import MultiThreadedMglBaseline
+from repro.baselines.cpu_gpu import CpuGpuBaseline, region_batch_order
+
+__all__ = [
+    "AbacusLegalizer",
+    "GreedyLegalizer",
+    "AnalyticalLegalizer",
+    "AnalyticalResult",
+    "MultiThreadedMglBaseline",
+    "CpuGpuBaseline",
+    "region_batch_order",
+]

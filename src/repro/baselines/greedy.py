@@ -1,0 +1,127 @@
+"""A tetris-style greedy legalizer.
+
+Cells are processed in size-descending order and each one is placed at
+the free position closest (in Manhattan distance, with the vertical
+component weighted by the row height) to its global-placement location.
+No cell already placed is ever moved again, so quality is clearly worse
+than MGL-family legalizers — which is exactly why it is useful as a
+sanity baseline in the examples and ablations.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.geometry.cell import Cell
+from repro.geometry.interval import Interval, gaps_between, intersect_interval_lists
+from repro.geometry.layout import Layout
+from repro.geometry.row import legal_bottom_rows
+from repro.legality.metrics import DisplacementStats, PlacementMetrics
+from repro.mgl.premove import premove
+from repro.perf.counters import LegalizationTrace, TargetCellWork
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of a greedy legalization run."""
+
+    layout: Layout
+    stats: DisplacementStats
+    failed_cells: List[int]
+    wall_seconds: float
+    trace: LegalizationTrace
+
+    @property
+    def average_displacement(self) -> float:
+        return self.stats.average_displacement
+
+    @property
+    def success(self) -> bool:
+        return not self.failed_cells
+
+
+class GreedyLegalizer:
+    """Greedy (tetris-style) mixed-cell-height legalizer."""
+
+    def __init__(
+        self,
+        *,
+        vertical_cost_factor: float = 10.0,
+        row_search_limit: int = 24,
+        metrics: Optional[PlacementMetrics] = None,
+    ) -> None:
+        self.vertical_cost_factor = vertical_cost_factor
+        self.row_search_limit = row_search_limit
+        self.metrics = metrics or PlacementMetrics(site_width_units=1.0 / vertical_cost_factor)
+
+    # ------------------------------------------------------------------
+    def legalize(self, layout: Layout) -> GreedyResult:
+        """Legalize every movable cell greedily, nearest free slot first."""
+        start = time.perf_counter()
+        trace = LegalizationTrace(
+            design_name=layout.name, algorithm="greedy", num_cells=len(layout.cells),
+            num_movable=len(layout.movable_cells()),
+        )
+        trace.premove_cells = premove(layout)
+        layout.rebuild_index()
+        cells = sorted(
+            layout.unlegalized_cells(), key=lambda c: (-c.area, -c.height, c.index)
+        )
+        n = max(1, len(cells))
+        trace.ordering_ops = int(n * max(1.0, math.log2(n)))
+        failed: List[int] = []
+        for cell in cells:
+            work = TargetCellWork(cell_index=cell.index, height=cell.height, width=cell.width)
+            position = self._best_position(layout, cell)
+            if position is None:
+                failed.append(cell.index)
+            else:
+                layout.mark_legalized(cell, position[0], float(position[1]))
+            trace.add_target(work)
+        stats = self.metrics.compute(layout)
+        return GreedyResult(
+            layout=layout,
+            stats=stats,
+            failed_cells=failed,
+            wall_seconds=time.perf_counter() - start,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    def _best_position(self, layout: Layout, cell: Cell) -> Optional[Tuple[float, int]]:
+        """Nearest completely-free slot for a cell (row-by-row scan)."""
+        best: Optional[Tuple[float, int, float]] = None
+        rows = sorted(
+            legal_bottom_rows(cell.height, layout.num_rows),
+            key=lambda r: abs(r - cell.gp_y),
+        )
+        for count, bottom in enumerate(rows):
+            vertical_cost = abs(bottom - cell.gp_y) * self.vertical_cost_factor
+            if best is not None and vertical_cost >= best[2]:
+                break
+            if count >= self.row_search_limit and best is not None:
+                break
+            free: List[Interval] = [Interval(0.0, layout.width)]
+            for row in range(bottom, bottom + cell.height):
+                occupied = [(c.x, c.right) for c in layout.obstacles_in_row(row)]
+                row_free = gaps_between(occupied, layout.row_span_interval(row))
+                free = intersect_interval_lists(free, row_free)
+                if not free:
+                    break
+            for interval in free:
+                if interval.length + 1e-9 < cell.width:
+                    continue
+                lo = math.ceil(interval.lo - 1e-9)
+                hi = math.floor(interval.hi - cell.width + 1e-9)
+                if lo > hi:
+                    continue
+                x = float(min(max(round(cell.gp_x), lo), hi))
+                cost = abs(x - cell.gp_x) + vertical_cost
+                if best is None or cost < best[2]:
+                    best = (x, bottom, cost)
+        if best is None:
+            return None
+        return best[0], best[1]

@@ -1,0 +1,36 @@
+"""Synthetic mixed-cell-height benchmark generation.
+
+The paper evaluates on the ICCAD-2017 multi-deck standard-cell
+legalization contest benchmarks.  Those designs (and the authors'
+global-placement dumps) are not redistributable, so this package builds
+synthetic equivalents that preserve the properties that drive
+legalization difficulty and runtime:
+
+* design density (cell area over free area),
+* the mixed-cell-height distribution (fractions of 1/2/3/4-row cells),
+* the proportion of cells taller than three rows (which governs the
+  benefit of FLEX's bandwidth optimisations, Fig. 9),
+* a realistic global-placement input: a nearly-legal placement whose
+  cells have been perturbed, producing local overlaps that legalization
+  must resolve with small displacement.
+
+A ``scale`` parameter shrinks cell counts so that pure-Python experiments
+finish quickly; density and height mix are preserved under scaling.
+"""
+
+from repro.benchgen.generator import DesignSpec, generate_design
+from repro.benchgen.iccad2017 import (
+    ICCAD2017_BENCHMARKS,
+    BenchmarkInfo,
+    iccad2017_design,
+    iccad2017_suite,
+)
+
+__all__ = [
+    "DesignSpec",
+    "generate_design",
+    "BenchmarkInfo",
+    "ICCAD2017_BENCHMARKS",
+    "iccad2017_design",
+    "iccad2017_suite",
+]

@@ -1,0 +1,35 @@
+"""FLEX: the paper's core contributions.
+
+* :mod:`repro.core.sacs` — the Sort-Ahead Cell Shifting algorithm
+  (Sec. 4.2), a single-pass replacement for the multi-pass cell shifting
+  of the original MGL implementation;
+* :mod:`repro.core.ordering` — the sliding-window processing ordering
+  that combines cell size with localRegion density (Sec. 3.1.2);
+* :mod:`repro.core.task_assignment` — the CPU/FPGA task-partition
+  strategies compared in Fig. 10 (Sec. 3.1.1);
+* :mod:`repro.core.pipeline` — the multi-granularity pipeline schedule
+  of the FOP datapath (Sec. 3.2);
+* :mod:`repro.core.flex_legalizer` — the end-to-end FLEX accelerator:
+  MGL quality machinery + SACS + sliding-window ordering on the
+  algorithm side, and the CPU/FPGA co-execution model on the runtime
+  side.
+"""
+
+from repro.core.config import FlexConfig
+from repro.core.sacs import SortAheadShifter, shift_cells_sacs
+from repro.core.ordering import SlidingWindowOrdering
+from repro.core.task_assignment import TaskAssignment, TaskPartition
+from repro.core.pipeline import PipelineOrganization
+from repro.core.flex_legalizer import FlexLegalizer, FlexRunResult
+
+__all__ = [
+    "FlexConfig",
+    "SortAheadShifter",
+    "shift_cells_sacs",
+    "SlidingWindowOrdering",
+    "TaskAssignment",
+    "TaskPartition",
+    "PipelineOrganization",
+    "FlexLegalizer",
+    "FlexRunResult",
+]

@@ -1,0 +1,29 @@
+"""Design and result serialization.
+
+Two formats are provided:
+
+* a simple bookshelf-like plain-text format (``.cells`` files) carrying
+  the chip dimensions and one line per cell — convenient for inspecting
+  and diffing small designs;
+* JSON round-tripping of layouts and of legalization summaries, used by
+  the experiment harness to persist results.
+"""
+
+from repro.designio.bookshelf import load_cells, save_cells
+from repro.designio.serialize import (
+    layout_from_dict,
+    layout_to_dict,
+    load_layout_json,
+    save_layout_json,
+    summary_to_dict,
+)
+
+__all__ = [
+    "load_cells",
+    "save_cells",
+    "layout_to_dict",
+    "layout_from_dict",
+    "save_layout_json",
+    "load_layout_json",
+    "summary_to_dict",
+]

@@ -1,0 +1,74 @@
+"""A minimal bookshelf-like text format for mixed-cell-height designs.
+
+The format is intentionally simple (one header line, one line per cell)
+so that generated designs and legalization results can be inspected,
+diffed and re-loaded without external tooling::
+
+    # repro-cells 1
+    chip <num_rows> <num_sites>
+    cell <name> <width> <height> <gp_x> <gp_y> <x> <y> <fixed> <legalized>
+    ...
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.geometry.cell import Cell
+from repro.geometry.layout import Layout
+
+_HEADER = "# repro-cells 1"
+
+
+def save_cells(layout: Layout, path: Union[str, Path]) -> None:
+    """Write a layout to a ``.cells`` text file."""
+    path = Path(path)
+    lines = [_HEADER, f"chip {layout.num_rows} {layout.num_sites} {layout.name}"]
+    for cell in layout.cells:
+        lines.append(
+            "cell {name} {w:g} {h} {gpx:.10g} {gpy:.10g} {x:.10g} {y:.10g} {fixed:d} {leg:d}".format(
+                name=cell.name,
+                w=cell.width,
+                h=cell.height,
+                gpx=cell.gp_x,
+                gpy=cell.gp_y,
+                x=cell.x,
+                y=cell.y,
+                fixed=cell.fixed,
+                leg=cell.legalized,
+            )
+        )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_cells(path: Union[str, Path]) -> Layout:
+    """Read a layout from a ``.cells`` text file."""
+    path = Path(path)
+    lines = [line.strip() for line in path.read_text(encoding="utf-8").splitlines() if line.strip()]
+    if not lines or lines[0] != _HEADER:
+        raise ValueError(f"{path}: not a repro-cells file (missing header)")
+    chip_parts = lines[1].split()
+    if chip_parts[0] != "chip" or len(chip_parts) < 3:
+        raise ValueError(f"{path}: malformed chip line: {lines[1]!r}")
+    num_rows, num_sites = int(chip_parts[1]), int(chip_parts[2])
+    name = chip_parts[3] if len(chip_parts) > 3 else path.stem
+    layout = Layout(num_rows, num_sites, name=name)
+    for index, line in enumerate(lines[2:]):
+        parts = line.split()
+        if parts[0] != "cell" or len(parts) != 10:
+            raise ValueError(f"{path}: malformed cell line: {line!r}")
+        cell = Cell(
+            index=index,
+            name=parts[1],
+            width=float(parts[2]),
+            height=int(parts[3]),
+            gp_x=float(parts[4]),
+            gp_y=float(parts[5]),
+            x=float(parts[6]),
+            y=float(parts[7]),
+            fixed=bool(int(parts[8])),
+            legalized=bool(int(parts[9])),
+        )
+        layout.add_cell(cell)
+    return layout

@@ -1,0 +1,89 @@
+"""JSON serialization of layouts and experiment summaries."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.geometry.cell import Cell
+from repro.geometry.layout import Layout
+
+
+def layout_to_dict(layout: Layout) -> Dict[str, Any]:
+    """Convert a layout into a JSON-serialisable dictionary."""
+    return {
+        "name": layout.name,
+        "num_rows": layout.num_rows,
+        "num_sites": layout.num_sites,
+        "site_width": layout.site_width,
+        "row_height": layout.row_height,
+        "cells": [
+            {
+                "name": c.name,
+                "width": c.width,
+                "height": c.height,
+                "gp_x": c.gp_x,
+                "gp_y": c.gp_y,
+                "x": c.x,
+                "y": c.y,
+                "fixed": c.fixed,
+                "legalized": c.legalized,
+            }
+            for c in layout.cells
+        ],
+    }
+
+
+def layout_from_dict(data: Dict[str, Any]) -> Layout:
+    """Rebuild a layout from :func:`layout_to_dict` output."""
+    layout = Layout(
+        data["num_rows"],
+        data["num_sites"],
+        name=data.get("name", "design"),
+        site_width=data.get("site_width", 1.0),
+        row_height=data.get("row_height", 1.0),
+    )
+    for index, entry in enumerate(data["cells"]):
+        layout.add_cell(
+            Cell(
+                index=index,
+                name=entry.get("name", f"c{index}"),
+                width=entry["width"],
+                height=entry["height"],
+                gp_x=entry["gp_x"],
+                gp_y=entry["gp_y"],
+                x=entry.get("x", entry["gp_x"]),
+                y=entry.get("y", entry["gp_y"]),
+                fixed=entry.get("fixed", False),
+                legalized=entry.get("legalized", False),
+            )
+        )
+    return layout
+
+
+def save_layout_json(layout: Layout, path: Union[str, Path]) -> None:
+    """Write a layout to a JSON file."""
+    Path(path).write_text(json.dumps(layout_to_dict(layout), indent=1), encoding="utf-8")
+
+
+def load_layout_json(path: Union[str, Path]) -> Layout:
+    """Read a layout from a JSON file."""
+    return layout_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def summary_to_dict(**fields: Any) -> Dict[str, Any]:
+    """Normalise arbitrary scalar experiment fields for JSON output.
+
+    Non-serialisable values are converted to strings so that experiment
+    summaries can always be dumped without surprises.
+    """
+    out: Dict[str, Any] = {}
+    for key, value in fields.items():
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, dict):
+            out[key] = {str(k): (v if isinstance(v, (int, float, str, bool)) else str(v)) for k, v in value.items()}
+        else:
+            out[key] = str(value)
+    return out

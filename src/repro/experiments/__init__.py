@@ -1,0 +1,45 @@
+"""Experiment harness: one module per paper table / figure.
+
+Every experiment module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` whose ``format()``
+method prints the same rows / series the paper reports, and (where the
+paper provides numbers) the published reference values next to the
+measured ones.  ``repro.experiments.runner`` executes the full set and is
+what the ``benchmarks/`` harness and the EXPERIMENTS.md tables are
+generated from.
+
+Absolute runtimes are modeled (see DESIGN.md, Substitutions); the
+experiments therefore compare *shapes*: who wins, by roughly which
+factor, and how the trends move with density, cell height mix and thread
+or PE count.
+"""
+
+from repro.experiments.common import DesignBundle, ExperimentResult, run_design_suite
+from repro.experiments import paper_data
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.fig2 import run_fig2_scaling, run_fig2_parallelism, run_fig2_shift_share
+from repro.experiments.fig6 import run_fig6_sorting_share
+from repro.experiments.fig8 import run_fig8_ladder
+from repro.experiments.fig9 import run_fig9_sacs
+from repro.experiments.fig10 import run_fig10_task_assignment
+from repro.experiments.scalability import run_scalability
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "DesignBundle",
+    "ExperimentResult",
+    "run_design_suite",
+    "paper_data",
+    "run_table1",
+    "run_table2",
+    "run_fig2_scaling",
+    "run_fig2_parallelism",
+    "run_fig2_shift_share",
+    "run_fig6_sorting_share",
+    "run_fig8_ladder",
+    "run_fig9_sacs",
+    "run_fig10_task_assignment",
+    "run_scalability",
+    "run_all",
+]

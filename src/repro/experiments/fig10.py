@@ -1,0 +1,78 @@
+"""Figure 10: CPU/FPGA task-assignment comparison.
+
+Compares, per benchmark, the modeled end-to-end FLEX runtime when only
+step (d) — FOP — runs on the FPGA (the proposed partition) against the
+alternative that also offloads step (e) — insert & update.  The paper
+reports an average 1.2x advantage for keeping the update on the CPU,
+because offloading it forces every updated position back across the link
+and serialises the host's region building against the device.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.config import FlexConfig
+from repro.core.flex_legalizer import FlexLegalizer
+from repro.core.task_assignment import TaskPartition
+from repro.experiments import paper_data
+from repro.experiments.common import (
+    DEFAULT_FIGURE_BENCHMARKS,
+    DEFAULT_SCALE,
+    ExperimentResult,
+    run_design,
+)
+
+
+def run_fig10_task_assignment(
+    names: Optional[Iterable[str]] = None,
+    *,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Regenerate the Fig. 10 task-assignment comparison."""
+    selected = list(names) if names is not None else list(DEFAULT_FIGURE_BENCHMARKS)
+    rows = []
+    for name in selected:
+        bundle = run_design(name, scale=scale, seed=seed, algorithms=("flex",))
+        assert bundle.flex is not None
+        legalization = bundle.flex.legalization
+
+        fop_only = FlexLegalizer(
+            FlexConfig(task_partition=TaskPartition.FOP_ON_FPGA)
+        ).model_run(legalization)
+        both = FlexLegalizer(
+            FlexConfig(task_partition=TaskPartition.FOP_AND_UPDATE_ON_FPGA)
+        ).model_run(legalization)
+        t_fop = fop_only.modeled_runtime_seconds
+        t_both = both.modeled_runtime_seconds
+        rows.append(
+            [
+                name,
+                t_fop,
+                t_both,
+                t_both / t_fop if t_fop else float("nan"),
+                fop_only.timeline.visible_transfer,
+                both.timeline.visible_transfer,
+            ]
+        )
+    speedups = [row[3] for row in rows if isinstance(row[3], float)]
+    average = sum(speedups) / len(speedups) if speedups else float("nan")
+    rows.append(["Average", "", "", average, "", ""])
+    return ExperimentResult(
+        title="Fig. 10: speedup of assigning only FOP (step d) to the FPGA",
+        headers=[
+            "benchmark",
+            "fop_on_fpga_s",
+            "fop+update_on_fpga_s",
+            "speedup",
+            "visible_xfer_fop_s",
+            "visible_xfer_both_s",
+        ],
+        rows=rows,
+        notes=[
+            f"paper: keeping insert & update on the CPU is on average "
+            f"{paper_data.FIG10_AVERAGE}x faster",
+        ],
+        extras={"average_speedup": average},
+    )

@@ -1,0 +1,131 @@
+"""Figure 2: the motivation measurements.
+
+Three separately runnable pieces:
+
+* :func:`run_fig2_scaling` — Fig. 2(a): multi-threaded CPU legalization
+  time at 1/2/4/8/10 threads (saturation around 1.8x);
+* :func:`run_fig2_parallelism` — Fig. 2(b)(c): the region-level
+  parallelism achievable by the CPU-GPU legalizer versus the GPU's CUDA
+  core count, and the share of its runtime spent synchronising;
+* :func:`run_fig2_shift_share` — Fig. 2(g): the share of FOP runtime
+  spent in cell shifting (more than 60 % in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.experiments import paper_data
+from repro.experiments.common import (
+    DEFAULT_FIGURE_BENCHMARKS,
+    DEFAULT_SCALE,
+    ExperimentResult,
+    run_design,
+    run_design_suite,
+)
+from repro.perf.cost_model import CpuCostModel
+from repro.perf.gpu_model import CpuGpuModel
+
+
+def run_fig2_scaling(
+    name: str = "edit_dist_a_md3",
+    *,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    thread_counts: Sequence[int] = (1, 2, 4, 8, 10),
+) -> ExperimentResult:
+    """Fig. 2(a): multi-threaded CPU legalization time vs thread count."""
+    bundle = run_design(name, scale=scale, seed=seed, algorithms=("mgl",))
+    assert bundle.mgl is not None
+    curve = bundle.mgl.scaling_curve
+    base = curve.get(1)
+    rows = []
+    for threads in thread_counts:
+        time_s = curve.get(threads)
+        if time_s is None:
+            time_s = bundle.mgl.single_thread_seconds / paper_data.FIG2A_THREAD_SPEEDUP.get(threads, 1.8)
+        rows.append(
+            [
+                threads,
+                time_s,
+                base / time_s if time_s else float("nan"),
+                paper_data.FIG2A_THREAD_SPEEDUP.get(threads, float("nan")),
+            ]
+        )
+    return ExperimentResult(
+        title=f"Fig. 2(a): multi-threaded CPU legalization time on {name}",
+        headers=["threads", "time_s", "speedup", "paper speedup"],
+        rows=rows,
+        notes=["the 2-thread run reduces runtime by only ~20 %; saturation at 8 threads"],
+        extras={"curve": curve},
+    )
+
+
+def run_fig2_parallelism(
+    names: Optional[Iterable[str]] = None,
+    *,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig. 2(b)(c): CPU-GPU legalizer parallelism and synchronisation share."""
+    selected = list(names) if names is not None else list(DEFAULT_FIGURE_BENCHMARKS[:4])
+    rows = []
+    model = CpuGpuModel()
+    for name in selected:
+        bundle = run_design(name, scale=scale, seed=seed, algorithms=("cpu_gpu",))
+        assert bundle.cpu_gpu is not None
+        breakdown = bundle.cpu_gpu.breakdown
+        parallelism = bundle.cpu_gpu.achievable_parallelism
+        total = breakdown.total
+        rows.append(
+            [
+                name,
+                model.params.cuda_cores,
+                parallelism,
+                parallelism / model.params.cuda_cores,
+                breakdown.gpu_sync / total if total else float("nan"),
+                breakdown.cpu_tough / total if total else float("nan"),
+            ]
+        )
+    return ExperimentResult(
+        title="Fig. 2(b)(c): CPU-GPU legalizer — achievable parallelism and overheads",
+        headers=[
+            "benchmark",
+            "cuda_cores",
+            "parallel_regions",
+            "utilised_fraction",
+            "sync_share",
+            "tough_cpu_share",
+        ],
+        rows=rows,
+        notes=[
+            "the achievable region-level parallelism stays far below the CUDA core "
+            "count, so a larger GPU cannot help (paper Fig. 2(c))",
+        ],
+    )
+
+
+def run_fig2_shift_share(
+    names: Optional[Iterable[str]] = None,
+    *,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Fig. 2(g): share of FOP runtime spent in cell shifting."""
+    selected = list(names) if names is not None else list(DEFAULT_FIGURE_BENCHMARKS[:4])
+    cost = CpuCostModel()
+    rows = []
+    for name in selected:
+        bundle = run_design(name, scale=scale, seed=seed, algorithms=("mgl",))
+        assert bundle.mgl is not None
+        trace = bundle.mgl.legalization.trace
+        stages = cost.fop_stage_seconds(trace)
+        total = sum(stages.values())
+        share = stages["cell_shift"] / total if total else 0.0
+        rows.append([name, share, trace.cell_shift_fraction(), paper_data.FIG2G_CELL_SHIFT_SHARE])
+    return ExperimentResult(
+        title="Fig. 2(g): cell shifting share of FOP runtime",
+        headers=["benchmark", "cpu_time_share", "work_share", "paper (>)"],
+        rows=rows,
+        notes=["cell shifting dominates FOP, motivating SACS (paper: more than 60 %)"],
+    )

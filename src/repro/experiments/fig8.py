@@ -1,0 +1,64 @@
+"""Figure 8: speedup of the FPGA-side optimisation ladder.
+
+Normalised speedups of the FOP datapath as each FLEX optimisation is
+enabled: normal pipeline → SACS → multi-granularity pipeline → two
+parallel FOP PEs.  The paper reports 2–3x for SACS, an additional 1–2x
+for the multi-granularity pipeline and 1.6–1.9x for the second PE.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.config import FlexConfig
+from repro.experiments import paper_data
+from repro.experiments.common import (
+    DEFAULT_FIGURE_BENCHMARKS,
+    DEFAULT_SCALE,
+    ExperimentResult,
+    run_design,
+)
+from repro.fpga.pipeline_sim import FpgaPipelineModel
+
+
+def run_fig8_ladder(
+    names: Optional[Iterable[str]] = None,
+    *,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    config: Optional[FlexConfig] = None,
+) -> ExperimentResult:
+    """Regenerate the Fig. 8 speedup ladder on the (scaled) benchmarks."""
+    selected = list(names) if names is not None else list(DEFAULT_FIGURE_BENCHMARKS)
+    config = config or FlexConfig()
+    rows = []
+    for name in selected:
+        bundle = run_design(name, scale=scale, seed=seed, algorithms=("flex",))
+        assert bundle.flex is not None
+        trace = bundle.flex.trace
+        model = FpgaPipelineModel(config, trace_used_sacs=trace.shift_algorithm == "sacs")
+        ladder = model.speedup_ladder(trace)
+        rows.append(
+            [
+                name,
+                ladder["normal-pipeline"],
+                ladder["sacs"],
+                ladder["multi-granularity"],
+                ladder["2-parallel-fop-pe"],
+                ladder["2-parallel-fop-pe"] / ladder["multi-granularity"],
+            ]
+        )
+    ranges = paper_data.FIG8_RANGES
+    notes = [
+        "columns are cumulative speedups over the normal pipeline; the last column "
+        "is the incremental gain of the second FOP PE",
+        f"paper ranges: SACS {ranges['sacs'][0]}-{ranges['sacs'][1]}x, "
+        f"multi-granularity +{ranges['multi-granularity'][0]}-{ranges['multi-granularity'][1]}x, "
+        f"2 PEs +{ranges['2-parallel-fop-pe'][0]}-{ranges['2-parallel-fop-pe'][1]}x",
+    ]
+    return ExperimentResult(
+        title="Fig. 8: normalized speedup of the FPGA optimisation ladder",
+        headers=["benchmark", "normal", "sacs", "multi-granularity", "2-fop-pe", "2pe_gain"],
+        rows=rows,
+        notes=notes,
+    )

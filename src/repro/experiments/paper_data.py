@@ -1,0 +1,125 @@
+"""Published reference numbers from the paper, used for paper-vs-measured
+comparisons in the experiment output and in EXPERIMENTS.md.
+
+All values are transcribed from the ICPP'25 paper:
+
+* :data:`TABLE1` — per-benchmark AveDis / runtime of TCAD'22-MGL (8-thread
+  CPU), DATE'22 (CPU-GPU), ISPD'25 (analytical GPU) and FLEX, plus the
+  speedup columns Acc(T) / Acc(D) / Acc(I);
+* :data:`TABLE2` — FPGA resource consumption for 1 and 2 FOP PEs;
+* :data:`FIG2A_THREAD_SPEEDUP` — the multi-threaded CPU scaling;
+* :data:`FIG8_RANGES` / :data:`FIG9_RANGES` / :data:`FIG10_AVERAGE` — the
+  speedup ranges of the breakdown analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+
+class Table1Row(NamedTuple):
+    """One row of paper Table 1."""
+
+    cells: int
+    density: float
+    tcad22_avedis: float
+    tcad22_time: float
+    date22_avedis: float
+    date22_time: float
+    ispd25_avedis: float
+    ispd25_time: float
+    flex_avedis: float
+    flex_time: float
+    acc_t: float
+    acc_d: float
+    acc_i: float
+
+
+#: Paper Table 1 (IC/CAD 2017 contest benchmarks).
+TABLE1: Dict[str, Table1Row] = {
+    "des_perf_1": Table1Row(112644, 90.6, 0.967, 4.74, 1.05, 3.47, 0.66, 7.51, 0.665, 1.322, 3.6, 2.6, 5.7),
+    "des_perf_a_md1": Table1Row(108288, 55.1, 0.919, 1.81, 0.92, 2.00, 1.20, 8.38, 0.904, 0.727, 2.5, 2.8, 11.5),
+    "des_perf_a_md2": Table1Row(108288, 55.9, 1.148, 1.67, 1.32, 2.00, 1.12, 16.64, 1.144, 0.663, 2.5, 3.0, 25.1),
+    "des_perf_b_md1": Table1Row(112644, 55.0, 0.675, 1.28, 0.70, 6.85, 0.65, 20.34, 0.635, 0.375, 3.4, 18.3, 54.2),
+    "des_perf_b_md2": Table1Row(112644, 64.7, 0.618, 1.31, 0.72, 1.75, 0.70, 1.11, 0.653, 0.501, 2.6, 3.5, 2.2),
+    "edit_dist_1_md1": Table1Row(130661, 67.4, 0.664, 0.98, 0.67, 1.67, 0.63, 2.68, 0.646, 0.347, 2.8, 4.8, 7.7),
+    "edit_dist_a_md2": Table1Row(127413, 59.4, 0.614, 1.30, 0.73, 1.80, 0.67, 2.22, 0.650, 0.547, 2.4, 3.3, 4.1),
+    "edit_dist_a_md3": Table1Row(127413, 57.2, 0.783, 1.78, 0.91, 3.92, 0.79, 19.21, 0.771, 0.897, 2.0, 4.4, 21.4),
+    "fft_2_md2": Table1Row(32281, 82.7, 0.721, 0.29, 0.68, 0.45, 0.68, 1.74, 0.694, 0.112, 2.6, 4.0, 15.5),
+    "fft_a_md2": Table1Row(30625, 32.3, 0.563, 0.22, 0.65, 0.32, 0.75, 0.51, 0.604, 0.041, 5.4, 7.8, 12.4),
+    "fft_a_md3": Table1Row(30625, 31.2, 0.531, 0.15, 0.56, 0.34, 0.59, 0.39, 0.567, 0.036, 4.2, 9.4, 10.8),
+    "pci_b_a_md1": Table1Row(29517, 49.5, 0.652, 0.33, 0.63, 0.58, 0.92, 0.70, 0.699, 0.106, 3.1, 5.5, 6.6),
+    "pci_b_a_md2": Table1Row(29517, 57.7, 0.839, 0.47, 0.91, 0.62, 0.85, 2.12, 0.838, 0.130, 3.6, 4.8, 16.3),
+    "pci_b_b_md1": Table1Row(28914, 26.6, 0.781, 0.31, 0.48, 0.62, 1.14, 0.88, 0.821, 0.085, 3.6, 7.3, 10.4),
+    "pci_b_b_md2": Table1Row(28914, 18.3, 0.704, 0.32, 0.63, 0.45, 1.01, 1.69, 0.746, 0.072, 4.4, 6.3, 23.5),
+    "pci_b_b_md3": Table1Row(28914, 22.2, 0.925, 0.34, 0.87, 0.45, 1.09, 1.92, 0.945, 0.082, 4.1, 5.5, 23.4),
+}
+
+#: Paper Table 1 "Average" row.
+TABLE1_AVERAGE = {
+    "tcad22_avedis": 0.757,
+    "tcad22_time": 1.08,
+    "date22_avedis": 0.78,
+    "date22_time": 1.71,
+    "ispd25_avedis": 0.84,
+    "ispd25_time": 5.50,
+    "flex_avedis": 0.749,
+    "flex_time": 0.378,
+    "acc_t": 2.9,
+    "acc_d": 4.5,
+    "acc_i": 14.7,
+}
+
+#: Paper Table 1 "Ratio" row (quality/time normalised to FLEX).
+TABLE1_RATIO = {
+    "tcad22_avedis": 1.01,
+    "tcad22_time": 2.86,
+    "date22_avedis": 1.04,
+    "date22_time": 4.52,
+    "ispd25_avedis": 1.12,
+    "ispd25_time": 14.67,
+    "flex_avedis": 1.00,
+    "flex_time": 1.00,
+}
+
+#: Paper Table 2: FPGA resource consumption on the Alveo U50.
+TABLE2 = {
+    "No parallelism of FOP PE": {"luts": 59837, "ffs": 67326, "brams": 391, "dsps": 8},
+    "2 parallelism of FOP PE": {"luts": 86632, "ffs": 91603, "brams": 738, "dsps": 12},
+    "Available": {"luts": 871680, "ffs": 1743360, "brams": 1344, "dsps": 5952},
+}
+
+#: Fig. 2(a): speedup of the multi-threaded CPU legalizer over one thread.
+FIG2A_THREAD_SPEEDUP = {1: 1.0, 2: 1.25, 4: 1.55, 8: 1.8, 10: 1.82}
+
+#: Fig. 2(c): CUDA cores of the GTX 1660 Ti vs. the achievable parallelism
+#: of the legalization algorithm on the two superblue benchmarks.
+FIG2C_PARALLELISM = {"cuda_cores": 1536, "superblue11_a": 0.40, "superblue19": 0.31}
+
+#: Fig. 2(g): share of FOP runtime spent in cell shifting.
+FIG2G_CELL_SHIFT_SHARE = 0.60  # "more than 60 %"
+
+#: Fig. 6(g): share of FOP runtime spent pre-sorting in SACS.
+FIG6G_SORT_SHARE = 0.10
+
+#: Fig. 8: speedup ranges of the optimisation ladder (relative to the
+#: previous configuration).
+FIG8_RANGES = {
+    "sacs": (2.0, 3.0),
+    "multi-granularity": (1.0, 2.0),
+    "2-parallel-fop-pe": (1.6, 1.9),
+}
+
+#: Fig. 9: total speedup range of the fully-optimised SACS over plain SACS.
+FIG9_RANGES = {"total": (1.5, 3.5)}
+
+#: Fig. 10: average speedup of keeping insert & update on the CPU.
+FIG10_AVERAGE = 1.2
+
+#: Headline claims (abstract / conclusion).
+HEADLINE = {
+    "max_speedup_vs_cpu_gpu": 18.3,
+    "max_speedup_vs_multithread_cpu": 5.4,
+    "quality_improvement_vs_cpu_gpu": 0.04,
+    "quality_improvement_vs_multithread_cpu": 0.01,
+}

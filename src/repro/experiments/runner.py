@@ -1,0 +1,82 @@
+"""Run every experiment and print (or save) the full report.
+
+``python -m repro.experiments.runner`` regenerates all tables and figures
+of the paper on the scaled synthetic suite; the output is what
+EXPERIMENTS.md is built from.  The scale, benchmark subset and seed can
+be controlled from the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.benchgen.iccad2017 import benchmark_names
+from repro.experiments.common import DEFAULT_FIGURE_BENCHMARKS, DEFAULT_SCALE, ExperimentResult
+from repro.experiments.fig2 import run_fig2_parallelism, run_fig2_scaling, run_fig2_shift_share
+from repro.experiments.fig6 import run_fig6_sorting_share
+from repro.experiments.fig8 import run_fig8_ladder
+from repro.experiments.fig9 import run_fig9_sacs
+from repro.experiments.fig10 import run_fig10_task_assignment
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+def run_all(
+    *,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    table1_names: Optional[Sequence[str]] = None,
+    figure_names: Optional[Sequence[str]] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run every table / figure experiment and return the results by key."""
+    figure_names = list(figure_names) if figure_names is not None else list(DEFAULT_FIGURE_BENCHMARKS)
+    results: Dict[str, ExperimentResult] = {}
+    results["table1"] = run_table1(table1_names, scale=scale, seed=seed)
+    results["table2"] = run_table2()
+    results["fig2a"] = run_fig2_scaling(scale=scale, seed=seed)
+    results["fig2bc"] = run_fig2_parallelism(figure_names[:4], scale=scale, seed=seed)
+    results["fig2g"] = run_fig2_shift_share(figure_names[:4], scale=scale, seed=seed)
+    results["fig6g"] = run_fig6_sorting_share(figure_names[:4], scale=scale, seed=seed)
+    results["fig8"] = run_fig8_ladder(figure_names, scale=scale, seed=seed)
+    results["fig9"] = run_fig9_sacs(figure_names, scale=scale, seed=seed)
+    results["fig10"] = run_fig10_task_assignment(figure_names, scale=scale, seed=seed)
+    return results
+
+
+def format_report(results: Dict[str, ExperimentResult]) -> str:
+    """Render all experiment results as one plain-text report."""
+    blocks = []
+    for key in ["table1", "table2", "fig2a", "fig2bc", "fig2g", "fig6g", "fig8", "fig9", "fig10"]:
+        if key in results:
+            blocks.append(results[key].format())
+    return ("\n\n" + "=" * 96 + "\n\n").join(blocks)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="Regenerate the FLEX paper's tables and figures")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="cell-count scale relative to the published benchmarks")
+    parser.add_argument("--seed", type=int, default=None, help="benchmark generation seed")
+    parser.add_argument("--quick", action="store_true",
+                        help="use a 6-benchmark subset for Table 1 as well")
+    parser.add_argument("--output", type=str, default=None, help="write the report to this file")
+    args = parser.parse_args(argv)
+
+    table1_names = list(DEFAULT_FIGURE_BENCHMARKS) if args.quick else benchmark_names()
+    start = time.perf_counter()
+    results = run_all(scale=args.scale, seed=args.seed, table1_names=table1_names)
+    report = format_report(results)
+    report += f"\n\nharness wall time: {time.perf_counter() - start:.1f} s\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

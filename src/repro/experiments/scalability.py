@@ -1,0 +1,66 @@
+"""Section 5.4: scalability of FLEX vs. the multi-threaded CPU legalizer.
+
+The paper argues that FLEX scales better than the CPU / CPU-GPU
+approaches because it parallelises *within* a region (two FOP PEs
+evaluate two insertion points of the same target and synchronise with a
+few-cycle comparison) instead of across regions (which requires heavy
+position synchronisation).  This experiment quantifies that claim on one
+design: the modeled FLEX runtime as the FOP PE count grows from 1 to the
+largest count that fits on the U50, next to the multi-threaded CPU
+runtime as the thread count grows — the CPU curve saturates at ~1.8x
+while the FLEX curve stays near-linear until it becomes host-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import FlexConfig
+from repro.core.flex_legalizer import FlexLegalizer
+from repro.experiments.common import DEFAULT_SCALE, ExperimentResult, run_design
+from repro.fpga.resources import ResourceEstimator
+from repro.perf.thread_model import MultiThreadModel
+
+
+def run_scalability(
+    name: str = "des_perf_b_md2",
+    *,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    pe_counts: Sequence[int] = (1, 2, 3, 4),
+    thread_counts: Sequence[int] = (1, 2, 4, 8, 10),
+) -> ExperimentResult:
+    """Compare FLEX PE scaling against CPU thread scaling (Sec. 5.4)."""
+    bundle = run_design(name, scale=scale, seed=seed, algorithms=("flex", "mgl"))
+    assert bundle.flex is not None and bundle.mgl is not None
+    legalization = bundle.flex.legalization
+    estimator = ResourceEstimator()
+
+    rows = []
+    flex_base = None
+    for pes in pe_counts:
+        config = FlexConfig(fop_pe_parallelism=pes)
+        run = FlexLegalizer(config).model_run(legalization)
+        fits = estimator.estimate(config).fits()
+        time_s = run.modeled_runtime_seconds
+        if flex_base is None:
+            flex_base = time_s
+        rows.append([f"FLEX {pes} PE", time_s, flex_base / time_s, "yes" if fits else "no"])
+
+    thread_model = MultiThreadModel()
+    cpu_base = None
+    for threads in thread_counts:
+        time_s = thread_model.runtime_seconds(bundle.mgl.legalization.trace, threads)
+        if cpu_base is None:
+            cpu_base = time_s
+        rows.append([f"CPU {threads} threads", time_s, cpu_base / time_s, "-"])
+
+    return ExperimentResult(
+        title=f"Sec. 5.4: scalability of FLEX PEs vs CPU threads on {name}",
+        headers=["configuration", "time_s", "self_speedup", "fits U50"],
+        rows=rows,
+        notes=[
+            "FLEX parallelises insertion points of the same region (cheap sync); "
+            "the CPU legalizer parallelises regions and saturates at ~1.8x",
+        ],
+    )

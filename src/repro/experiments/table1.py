@@ -1,0 +1,123 @@
+"""Table 1: result comparison with state-of-the-art legalizers.
+
+For every (scaled) ICCAD-2017 benchmark the harness reports, exactly like
+the paper's Table 1:
+
+* the measured average displacement (AveDis) of the TCAD'22 multi-threaded
+  CPU baseline, the DATE'22 CPU-GPU baseline, the ISPD'25-style analytical
+  legalizer and FLEX;
+* their modeled runtimes;
+* the speedups Acc(T), Acc(D) and Acc(I) of FLEX over the three baselines;
+
+plus average and FLEX-normalised ratio rows, and (in the notes) the
+published averages for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.experiments import paper_data
+from repro.experiments.common import DEFAULT_SCALE, DesignBundle, ExperimentResult, run_design_suite
+from repro.perf.report import geometric_mean
+
+
+HEADERS = [
+    "benchmark",
+    "cells",
+    "den%",
+    "mgl_avedis",
+    "mgl_time_s",
+    "date22_avedis",
+    "date22_time_s",
+    "ispd25_avedis",
+    "ispd25_time_s",
+    "flex_avedis",
+    "flex_time_s",
+    "Acc(T)",
+    "Acc(D)",
+    "Acc(I)",
+]
+
+
+def _bundle_row(bundle: DesignBundle) -> List[object]:
+    assert bundle.mgl and bundle.flex and bundle.cpu_gpu and bundle.analytical
+    flex_time = bundle.flex.modeled_runtime_seconds
+    mgl_time = bundle.mgl.modeled_runtime_seconds
+    gpu_time = bundle.cpu_gpu.modeled_runtime_seconds
+    ana_time = bundle.analytical_runtime_seconds
+    return [
+        bundle.name,
+        bundle.num_cells,
+        round(bundle.info.density_percent, 1),
+        bundle.mgl.average_displacement,
+        mgl_time,
+        bundle.cpu_gpu.average_displacement,
+        gpu_time,
+        bundle.analytical.average_displacement,
+        ana_time,
+        bundle.flex.average_displacement,
+        flex_time,
+        mgl_time / flex_time if flex_time > 0 else float("nan"),
+        gpu_time / flex_time if flex_time > 0 else float("nan"),
+        ana_time / flex_time if flex_time > 0 else float("nan"),
+    ]
+
+
+def run_table1(
+    names: Optional[Iterable[str]] = None,
+    *,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Regenerate Table 1 on the (scaled) synthetic suite."""
+    bundles = run_design_suite(names, scale=scale, seed=seed)
+    rows = [_bundle_row(b) for b in bundles]
+
+    # Average row (arithmetic means, like the paper's Average row).
+    def mean(col: int) -> float:
+        values = [row[col] for row in rows if isinstance(row[col], (int, float))]
+        return sum(values) / len(values) if values else float("nan")
+
+    average = ["Average", int(mean(1)), round(mean(2), 1)] + [mean(i) for i in range(3, len(HEADERS))]
+    rows.append(average)
+
+    # Ratio row: quality and runtime normalised to FLEX.
+    flex_avedis = average[HEADERS.index("flex_avedis")]
+    flex_time = average[HEADERS.index("flex_time_s")]
+    ratio = ["Ratio", "", ""]
+    for header in HEADERS[3:]:
+        idx = HEADERS.index(header)
+        if header.endswith("avedis"):
+            ratio.append(average[idx] / flex_avedis if flex_avedis else float("nan"))
+        elif header.endswith("time_s"):
+            ratio.append(average[idx] / flex_time if flex_time else float("nan"))
+        else:
+            ratio.append("")
+    rows.append(ratio)
+
+    notes = [
+        f"cell counts scaled by {scale:g} relative to the published designs",
+        "runtimes are modeled hardware times derived from measured work counters",
+        (
+            "paper averages: AveDis {t[tcad22_avedis]:.3f}/{t[date22_avedis]:.2f}/"
+            "{t[ispd25_avedis]:.2f}/{t[flex_avedis]:.3f}, "
+            "Acc(T)={t[acc_t]}x Acc(D)={t[acc_d]}x Acc(I)={t[acc_i]}x"
+        ).format(t=paper_data.TABLE1_AVERAGE),
+    ]
+    acc_t = [row[HEADERS.index("Acc(T)")] for row in rows[:-2]]
+    acc_d = [row[HEADERS.index("Acc(D)")] for row in rows[:-2]]
+    acc_i = [row[HEADERS.index("Acc(I)")] for row in rows[:-2]]
+    extras = {
+        "bundles": bundles,
+        "geomean_acc_t": geometric_mean([v for v in acc_t if isinstance(v, float)]),
+        "geomean_acc_d": geometric_mean([v for v in acc_d if isinstance(v, float)]),
+        "geomean_acc_i": geometric_mean([v for v in acc_i if isinstance(v, float)]),
+    }
+    return ExperimentResult(
+        title="Table 1: comparison with state-of-the-art legalizers (scaled synthetic suite)",
+        headers=HEADERS,
+        rows=rows,
+        notes=notes,
+        extras=extras,
+    )

@@ -1,0 +1,63 @@
+"""Table 2: FPGA resource consumption.
+
+The resource estimator composes module-level figures into totals for the
+1-PE and 2-PE configurations and compares them with the published Table 2
+numbers and with the Alveo U50 capacity.  The harness also reports the
+largest PE count that still fits on the device (the scalability headroom
+discussed in Sec. 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import FlexConfig
+from repro.experiments import paper_data
+from repro.experiments.common import ExperimentResult
+from repro.fpga.resources import ALVEO_U50, ResourceEstimator
+
+
+def run_table2(config: Optional[FlexConfig] = None) -> ExperimentResult:
+    """Regenerate Table 2 from the module-level resource model."""
+    estimator = ResourceEstimator()
+    reports = estimator.table2(config)
+    rows = []
+    for report in reports:
+        paper_row = paper_data.TABLE2.get(
+            "No parallelism of FOP PE" if "1 " in report.config_label else "2 parallelism of FOP PE",
+            {},
+        )
+        rows.append(
+            [
+                report.config_label,
+                report.totals.luts,
+                report.totals.ffs,
+                report.totals.brams,
+                report.totals.dsps,
+                paper_row.get("luts", ""),
+                paper_row.get("brams", ""),
+            ]
+        )
+    available = paper_data.TABLE2["Available"]
+    rows.append(
+        [
+            "Available (U50)",
+            ALVEO_U50.luts,
+            ALVEO_U50.ffs,
+            ALVEO_U50.brams,
+            ALVEO_U50.dsps,
+            available["luts"],
+            available["brams"],
+        ]
+    )
+    max_pes = estimator.max_pe_count(config)
+    return ExperimentResult(
+        title="Table 2: FPGA resource consumption",
+        headers=["configuration", "LUTs", "FFs", "BRAMs", "DSPs", "paper LUTs", "paper BRAMs"],
+        rows=rows,
+        notes=[
+            f"largest FOP PE count fitting on the U50 under this model: {max_pes} "
+            "(BRAM-bound, as discussed in Sec. 5.4)",
+        ],
+        extras={"reports": reports, "max_pe_count": max_pes},
+    )

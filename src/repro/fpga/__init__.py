@@ -1,0 +1,52 @@
+"""Cycle-approximate behavioral model of the FLEX FPGA datapath.
+
+The paper implements FLEX on an AMD Alveo U50 running at 285 MHz.  This
+package substitutes that hardware with a behavioral model that consumes
+the per-insertion-point work records produced by the legalizer and
+returns cycle counts, organised exactly like the real datapath (Fig. 4):
+
+* :mod:`repro.fpga.clock` — clock domains (the SACS tables run at twice
+  the PE frequency when the bandwidth optimisation is on);
+* :mod:`repro.fpga.bram` — BRAM banks, odd/even splitting, ping-pong
+  buffers and the bank-count estimation used by the resource model;
+* :mod:`repro.fpga.sorter` — the insertion + merge pre-sorter of SACS
+  and the streaming breakpoint sorter;
+* :mod:`repro.fpga.sacs_dataflow` — the SACS PE dataflow of Fig. 7 and
+  its bandwidth optimisations (Fig. 9);
+* :mod:`repro.fpga.pe` — FOP PE cycle composition per insertion point;
+* :mod:`repro.fpga.pipeline_sim` — whole-run cycle estimation under the
+  normal / SACS / multi-granularity organisations and PE parallelism
+  (Fig. 8);
+* :mod:`repro.fpga.link` — the host↔card transfer model;
+* :mod:`repro.fpga.resources` — LUT/FF/BRAM/DSP estimation (Table 2).
+"""
+
+from repro.fpga.clock import ClockDomain
+from repro.fpga.bram import BramBank, OddEvenRam, PingPongRam
+from repro.fpga.sorter import InsertionSorter, MergeSorter, SacsPreSorter, StreamingBreakpointSorter
+from repro.fpga.sacs_dataflow import SacsCycleModel, SacsCycleParameters
+from repro.fpga.pe import FopPeModel
+from repro.fpga.pipeline_sim import FpgaCycleParameters, FpgaEstimate, FpgaPipelineModel
+from repro.fpga.link import HostLink
+from repro.fpga.resources import ResourceEstimator, ResourceReport, ALVEO_U50
+
+__all__ = [
+    "ClockDomain",
+    "BramBank",
+    "OddEvenRam",
+    "PingPongRam",
+    "InsertionSorter",
+    "MergeSorter",
+    "SacsPreSorter",
+    "StreamingBreakpointSorter",
+    "SacsCycleModel",
+    "SacsCycleParameters",
+    "FopPeModel",
+    "FpgaCycleParameters",
+    "FpgaEstimate",
+    "FpgaPipelineModel",
+    "HostLink",
+    "ResourceEstimator",
+    "ResourceReport",
+    "ALVEO_U50",
+]

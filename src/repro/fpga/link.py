@@ -1,0 +1,52 @@
+"""Host <-> FPGA card transfer model.
+
+FLEX streams each target's localRegion descriptor to the card and reads
+back a small result record.  With ping-pong preloading the transfers of
+all but the first region overlap compute; the timeline model decides
+which transfers are visible — this module only converts word counts into
+seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HostLink:
+    """A PCIe-like host link.
+
+    Attributes
+    ----------
+    bandwidth_gbps:
+        Effective payload bandwidth in Gbit/s.
+    latency_us:
+        Per-transfer latency (descriptor setup, doorbell, completion).
+    word_bytes:
+        Size of one descriptor word.
+    """
+
+    bandwidth_gbps: float = 12.0
+    latency_us: float = 5.0
+    word_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_us < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_seconds(self, words: int) -> float:
+        """Time to move ``words`` descriptor words across the link."""
+        if words <= 0:
+            return 0.0
+        payload_bits = words * self.word_bytes * 8
+        return self.latency_us * 1e-6 + payload_bits / (self.bandwidth_gbps * 1e9)
+
+    def batched_transfer_seconds(self, words: int, batch_words: int = 1024) -> float:
+        """Time when the words are moved in fixed-size batches."""
+        if words <= 0:
+            return 0.0
+        batches = max(1, -(-words // batch_words))
+        payload_bits = words * self.word_bytes * 8
+        return batches * self.latency_us * 1e-6 + payload_bits / (self.bandwidth_gbps * 1e9)

@@ -1,0 +1,165 @@
+"""FPGA resource estimation (paper Table 2).
+
+The estimator composes per-module resource figures into the totals of a
+FLEX configuration.  The module-level numbers are calibrated so that the
+1-PE and 2-PE totals match the published Table 2 utilisation on the
+Alveo U50; what the model adds over simply quoting the table is the
+compositional structure (shared infrastructure vs. per-PE cost, the
+non-duplicated region sorter) and the ability to extrapolate to higher
+PE counts for the scalability discussion of Sec. 5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import FlexConfig
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """LUT / FF / BRAM / DSP quadruple."""
+
+    luts: int = 0
+    ffs: int = 0
+    brams: int = 0
+    dsps: int = 0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.brams + other.brams,
+            self.dsps + other.dsps,
+        )
+
+    def scaled(self, factor: int) -> "ResourceVector":
+        return ResourceVector(
+            self.luts * factor, self.ffs * factor, self.brams * factor, self.dsps * factor
+        )
+
+    def utilisation(self, available: "ResourceVector") -> Dict[str, float]:
+        return {
+            "luts": self.luts / available.luts if available.luts else 0.0,
+            "ffs": self.ffs / available.ffs if available.ffs else 0.0,
+            "brams": self.brams / available.brams if available.brams else 0.0,
+            "dsps": self.dsps / available.dsps if available.dsps else 0.0,
+        }
+
+    def fits(self, available: "ResourceVector") -> bool:
+        return (
+            self.luts <= available.luts
+            and self.ffs <= available.ffs
+            and self.brams <= available.brams
+            and self.dsps <= available.dsps
+        )
+
+
+#: Available resources of the AMD Alveo U50 (Table 2, "Available" row).
+ALVEO_U50 = ResourceVector(luts=871_680, ffs=1_743_360, brams=1_344, dsps=5_952)
+
+
+#: Shared infrastructure: controller, host interface, collector,
+#: synchronisation module and the region pre-sorter (not duplicated when
+#: the PE count grows — paper Sec. 5.4).
+SHARED_MODULES: Dict[str, ResourceVector] = {
+    "controller": ResourceVector(luts=6_400, ffs=9_800, brams=6, dsps=0),
+    "host_interface": ResourceVector(luts=11_200, ffs=16_400, brams=18, dsps=0),
+    "region_presorter": ResourceVector(luts=8_642, ffs=9_049, brams=8, dsps=0),
+    "synchronisation_module": ResourceVector(luts=2_300, ffs=3_100, brams=2, dsps=0),
+    "result_collector": ResourceVector(luts=4_500, ffs=4_700, brams=10, dsps=4),
+}
+
+#: Per-FOP-PE modules (duplicated with the PE count).
+PER_PE_MODULES: Dict[str, ResourceVector] = {
+    "sacs_pe": ResourceVector(luts=9_800, ffs=8_400, brams=0, dsps=2),
+    "sacs_tables": ResourceVector(luts=1_600, ffs=2_100, brams=228, dsps=0),
+    "insertion_point_module": ResourceVector(luts=3_195, ffs=2_877, brams=64, dsps=0),
+    "breakpoint_sorter": ResourceVector(luts=2_400, ffs=3_200, brams=12, dsps=0),
+    "fwdt_pe": ResourceVector(luts=4_600, ffs=3_800, brams=20, dsps=1),
+    "bwdt_pe": ResourceVector(luts=5_200, ffs=3_900, brams=23, dsps=1),
+}
+
+
+@dataclass
+class ResourceReport:
+    """Resource totals of a configuration plus the published reference."""
+
+    config_label: str
+    totals: ResourceVector
+    available: ResourceVector = ALVEO_U50
+    per_module: Dict[str, ResourceVector] = field(default_factory=dict)
+
+    def utilisation(self) -> Dict[str, float]:
+        return self.totals.utilisation(self.available)
+
+    def fits(self) -> bool:
+        return self.totals.fits(self.available)
+
+    def as_row(self) -> List[object]:
+        return [self.config_label, self.totals.luts, self.totals.ffs, self.totals.brams, self.totals.dsps]
+
+
+class ResourceEstimator:
+    """Estimates the FPGA resources of a FLEX configuration."""
+
+    def __init__(
+        self,
+        shared: Optional[Dict[str, ResourceVector]] = None,
+        per_pe: Optional[Dict[str, ResourceVector]] = None,
+        available: ResourceVector = ALVEO_U50,
+    ) -> None:
+        self.shared = dict(shared or SHARED_MODULES)
+        self.per_pe = dict(per_pe or PER_PE_MODULES)
+        self.available = available
+
+    # ------------------------------------------------------------------
+    def estimate(self, config: FlexConfig) -> ResourceReport:
+        """Resource totals of the given configuration."""
+        per_module: Dict[str, ResourceVector] = {}
+        total = ResourceVector()
+        for name, vec in self.shared.items():
+            per_module[name] = vec
+            total = total + vec
+        pe_total = ResourceVector()
+        for name, vec in self.per_pe.items():
+            pe_total = pe_total + vec
+        if not config.sacs_bandwidth_opt:
+            # Without odd/even splitting and LCT duplication the tables need
+            # fewer BRAM banks (but the PE stalls more often).
+            reduced = ResourceVector(
+                self.per_pe["sacs_tables"].luts,
+                self.per_pe["sacs_tables"].ffs,
+                int(self.per_pe["sacs_tables"].brams * 0.6),
+                self.per_pe["sacs_tables"].dsps,
+            )
+            pe_total = pe_total + reduced + self.per_pe["sacs_tables"].scaled(-1)
+        per_module["fop_pe_cluster"] = pe_total.scaled(config.fop_pe_parallelism)
+        total = total + per_module["fop_pe_cluster"]
+        return ResourceReport(
+            config_label=f"{config.fop_pe_parallelism} parallelism of FOP PE",
+            totals=total,
+            available=self.available,
+            per_module=per_module,
+        )
+
+    # ------------------------------------------------------------------
+    def table2(self, base_config: Optional[FlexConfig] = None) -> List[ResourceReport]:
+        """Rows of paper Table 2: no parallelism and 2-parallelism of FOP PE."""
+        base = base_config or FlexConfig()
+        return [
+            self.estimate(base.with_updates(fop_pe_parallelism=1)),
+            self.estimate(base.with_updates(fop_pe_parallelism=2)),
+        ]
+
+    def max_pe_count(self, base_config: Optional[FlexConfig] = None) -> int:
+        """Largest PE count that still fits on the device (Sec. 5.4)."""
+        base = base_config or FlexConfig()
+        count = 1
+        while count < 64:
+            report = self.estimate(base.with_updates(fop_pe_parallelism=count + 1))
+            if not report.fits():
+                break
+            count += 1
+        return count

@@ -1,0 +1,109 @@
+"""Hardware sorter models.
+
+FLEX uses two kinds of sorters (paper Sec. 4.3.1, citing the Vitis
+database library primitives):
+
+* the **Ahead Sorter** pre-sorts a region's localCells by x before SACS
+  runs; it combines streaming insertion sorters (cheap, O(n) cycles for
+  nearly-sorted short blocks) with a merge-sorter tree that merges the
+  sorted blocks, and runs once per localRegion (~10 % of FOP runtime,
+  Fig. 6(g));
+* the **streaming breakpoint sorter** inside the FOP PE sorts the
+  breakpoint pieces emitted by cell shifting with an initiation interval
+  of one element per cycle, enabling the fine-grained pipeline into
+  ``fwdtraverse``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InsertionSorter:
+    """A streaming insertion sorter of bounded capacity.
+
+    Accepts one element per cycle and emits the sorted block after a
+    small flush latency; ideal for short, nearly-sorted sequences.
+    """
+
+    capacity: int = 64
+    flush_cycles: int = 4
+
+    def cycles(self, n: int) -> float:
+        """Cycles to sort ``n`` elements (capacity-bounded blocks)."""
+        if n <= 0:
+            return 0.0
+        blocks = math.ceil(n / self.capacity)
+        return float(n + blocks * self.flush_cycles)
+
+    def lut_cost(self) -> int:
+        """Approximate LUT usage (compare-and-shift network)."""
+        return 28 * self.capacity
+
+    def ff_cost(self) -> int:
+        return 40 * self.capacity
+
+
+@dataclass(frozen=True)
+class MergeSorter:
+    """A k-way merge sorter tree merging pre-sorted blocks."""
+
+    ways: int = 4
+    per_element_cycles: float = 1.0
+    setup_cycles: int = 8
+
+    def cycles(self, n: int, blocks: int) -> float:
+        """Cycles to merge ``blocks`` sorted blocks totalling ``n`` elements."""
+        if n <= 0 or blocks <= 1:
+            return 0.0
+        levels = math.ceil(math.log(max(2, blocks), self.ways))
+        return float(levels * (n * self.per_element_cycles + self.setup_cycles))
+
+    def lut_cost(self) -> int:
+        return 450 * self.ways
+
+    def ff_cost(self) -> int:
+        return 520 * self.ways
+
+
+@dataclass(frozen=True)
+class SacsPreSorter:
+    """The Ahead Sorter: insertion sorters feeding a merge-sorter tree."""
+
+    insertion: InsertionSorter = InsertionSorter()
+    merge: MergeSorter = MergeSorter()
+
+    def cycles(self, n: int) -> float:
+        """Cycles to pre-sort ``n`` localCells by x."""
+        if n <= 0:
+            return 0.0
+        blocks = math.ceil(n / self.insertion.capacity)
+        return self.insertion.cycles(n) + self.merge.cycles(n, blocks)
+
+    def lut_cost(self) -> int:
+        return self.insertion.lut_cost() + self.merge.lut_cost()
+
+    def ff_cost(self) -> int:
+        return self.insertion.ff_cost() + self.merge.ff_cost()
+
+
+@dataclass(frozen=True)
+class StreamingBreakpointSorter:
+    """The in-PE breakpoint sorter with an initiation interval of 1."""
+
+    initiation_interval: float = 1.0
+    fixed_cycles: int = 6
+
+    def cycles(self, n: int) -> float:
+        """Cycles to stream-sort ``n`` breakpoints."""
+        if n <= 0:
+            return 0.0
+        return n * self.initiation_interval + self.fixed_cycles
+
+    def lut_cost(self) -> int:
+        return 1800
+
+    def ff_cost(self) -> int:
+        return 2600

@@ -1,0 +1,54 @@
+"""Layout data model for mixed-cell-height legalization.
+
+Coordinates follow the convention used throughout the MGL literature and
+the FLEX paper:
+
+* the horizontal axis is measured in **placement-site widths** — a legal
+  cell must have an integer ``x`` coordinate;
+* the vertical axis is measured in **standard row heights** — a legal
+  cell must sit on an integer row index ``y`` and spans ``height`` rows;
+* a cell's ``height`` is an integer number of rows (mixed-cell-height
+  designs contain cells with height 1, 2, 3, 4, ...).
+
+The central classes are:
+
+:class:`Cell`
+    A movable (or fixed) rectangular cell with a global-placement
+    position and a current position.
+:class:`Row`
+    A placement row with a power-rail parity used for P/G alignment.
+:class:`Layout`
+    The chip: rows, sites, the cell list and spatial indexes.
+:class:`Window` / :class:`LocalSegment` / :class:`LocalCell` /
+:class:`LocalRegion`
+    The MGL localisation terms of paper Section 2.2.
+"""
+
+from repro.geometry.interval import (
+    Interval,
+    intersect_interval_lists,
+    intersect_many,
+    merge_intervals,
+    subtract_intervals,
+)
+from repro.geometry.cell import Cell
+from repro.geometry.row import Row, PowerRail, pg_compatible
+from repro.geometry.layout import Layout
+from repro.geometry.region import LocalCell, LocalRegion, LocalSegment, Window
+
+__all__ = [
+    "Interval",
+    "intersect_interval_lists",
+    "intersect_many",
+    "merge_intervals",
+    "subtract_intervals",
+    "Cell",
+    "Row",
+    "PowerRail",
+    "pg_compatible",
+    "Layout",
+    "Window",
+    "LocalSegment",
+    "LocalCell",
+    "LocalRegion",
+]

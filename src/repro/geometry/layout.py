@@ -1,0 +1,327 @@
+"""The chip layout: rows, sites, cells and spatial indexes.
+
+:class:`Layout` is the central mutable object passed between the
+legalization stages.  It maintains a per-row index of the cells that are
+*obstacles* for insertion (fixed blockages plus already-legalized cells),
+which is what localRegion extraction and cell shifting operate on.
+
+Design notes
+------------
+* The index maps each row to the sorted-by-x list of obstacle cell
+  indexes covering that row.  Multi-row cells appear in every row they
+  span (these per-row appearances are the "subcells" of the paper).
+* Unlegalized movable cells are *not* obstacles: the MGL flow treats them
+  as still-floating and will legalize them later in processing order.
+* Coordinates use a unit site width and unit row height internally.  The
+  physical dimensions only matter for reporting, where
+  :class:`~repro.legality.metrics.PlacementMetrics` can apply scale
+  factors.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry.cell import Cell
+from repro.geometry.interval import Interval
+from repro.geometry.row import PowerRail, Row
+
+
+class Layout:
+    """A row-based chip layout holding the design's cells.
+
+    Parameters
+    ----------
+    num_rows:
+        Number of placement rows.
+    num_sites:
+        Number of placement sites per row (uniform rows).
+    cells:
+        Optional initial cells; more can be added with :meth:`add_cell`.
+    site_width, row_height:
+        Physical dimensions of one site / one row, used only for metric
+        scaling (the internal grid is always the unit grid).
+    name:
+        Design name (e.g. ``des_perf_1``).
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        num_sites: int,
+        cells: Optional[Iterable[Cell]] = None,
+        *,
+        site_width: float = 1.0,
+        row_height: float = 1.0,
+        name: str = "design",
+    ) -> None:
+        if num_rows <= 0 or num_sites <= 0:
+            raise ValueError("layout must have positive numbers of rows and sites")
+        self.num_rows = int(num_rows)
+        self.num_sites = int(num_sites)
+        self.site_width = float(site_width)
+        self.row_height = float(row_height)
+        self.name = name
+        self.rows: List[Row] = [
+            Row(index=i, x_lo=0.0, x_hi=float(num_sites), bottom_rail=Row.default_rail(i))
+            for i in range(self.num_rows)
+        ]
+        self.cells: List[Cell] = []
+        # Per-row sorted obstacle index: row -> list of (x, cell_index).
+        self._row_index: List[List[Tuple[float, int]]] = [[] for _ in range(self.num_rows)]
+        self._index_dirty = False
+        if cells is not None:
+            for cell in cells:
+                self.add_cell(cell)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_cell(self, cell: Cell) -> None:
+        """Add a cell to the layout.
+
+        The cell's ``index`` must equal its position in the cell list so
+        that indexes can be used interchangeably with references.
+        """
+        if cell.index != len(self.cells):
+            raise ValueError(
+                f"cell index {cell.index} does not match insertion position {len(self.cells)}"
+            )
+        self.cells.append(cell)
+        if cell.fixed or cell.legalized:
+            self._insert_into_index(cell)
+
+    @property
+    def width(self) -> float:
+        """Chip width in site units."""
+        return float(self.num_sites)
+
+    @property
+    def height(self) -> float:
+        """Chip height in row units."""
+        return float(self.num_rows)
+
+    @property
+    def core_area(self) -> float:
+        """Total placeable area in site*row units."""
+        return self.width * self.height
+
+    # ------------------------------------------------------------------
+    # Cell queries
+    # ------------------------------------------------------------------
+    def movable_cells(self) -> List[Cell]:
+        """All non-fixed cells."""
+        return [c for c in self.cells if not c.fixed]
+
+    def fixed_cells(self) -> List[Cell]:
+        """All fixed blockages / macros."""
+        return [c for c in self.cells if c.fixed]
+
+    def unlegalized_cells(self) -> List[Cell]:
+        """Movable cells that still need to be legalized."""
+        return [c for c in self.cells if not c.fixed and not c.legalized]
+
+    def legalized_cells(self) -> List[Cell]:
+        """Movable cells whose final position has been committed."""
+        return [c for c in self.cells if not c.fixed and c.legalized]
+
+    def total_cell_area(self, movable_only: bool = False) -> float:
+        """Sum of cell areas (optionally restricted to movable cells)."""
+        return sum(c.area for c in self.cells if not (movable_only and c.fixed))
+
+    def density(self) -> float:
+        """Design density: total cell area / free core area (paper Table 1)."""
+        fixed_area = sum(c.area for c in self.fixed_cells())
+        free = self.core_area - fixed_area
+        if free <= 0:
+            return float("inf")
+        return sum(c.area for c in self.movable_cells()) / free
+
+    def height_histogram(self) -> Dict[int, int]:
+        """Number of movable cells per cell height."""
+        hist: Dict[int, int] = {}
+        for cell in self.movable_cells():
+            hist[cell.height] = hist.get(cell.height, 0) + 1
+        return hist
+
+    def max_cell_height(self) -> int:
+        """Largest movable-cell height (the ``H`` of Eq. 2)."""
+        heights = [c.height for c in self.movable_cells()]
+        return max(heights) if heights else 1
+
+    def tall_cell_fraction(self, taller_than: int = 3) -> float:
+        """Fraction of movable cells strictly taller than ``taller_than`` rows.
+
+        Reproduces the grey line of Fig. 9 (proportion of cells taller than
+        three-row height), which governs how much the SACS bandwidth
+        optimisations help.
+        """
+        movable = self.movable_cells()
+        if not movable:
+            return 0.0
+        return sum(1 for c in movable if c.height > taller_than) / len(movable)
+
+    # ------------------------------------------------------------------
+    # Obstacle index (fixed + legalized cells, per row, sorted by x)
+    # ------------------------------------------------------------------
+    def _insert_into_index(self, cell: Cell) -> None:
+        bottom, top = cell.row_span
+        for row in range(max(0, bottom), min(self.num_rows, top)):
+            bisect.insort(self._row_index[row], (cell.x, cell.index))
+
+    def _remove_from_index(self, cell: Cell) -> None:
+        bottom, top = cell.row_span
+        for row in range(max(0, bottom), min(self.num_rows, top)):
+            entries = self._row_index[row]
+            key = (cell.x, cell.index)
+            pos = bisect.bisect_left(entries, key)
+            if pos < len(entries) and entries[pos] == key:
+                entries.pop(pos)
+            else:  # pragma: no cover - defensive fallback
+                self._row_index[row] = [e for e in entries if e[1] != cell.index]
+
+    def rebuild_index(self) -> None:
+        """Rebuild the per-row obstacle index from scratch.
+
+        Call after bulk position changes (e.g. pre-move) that bypass
+        :meth:`move_obstacle` / :meth:`mark_legalized`.
+        """
+        self._row_index = [[] for _ in range(self.num_rows)]
+        for cell in self.cells:
+            if cell.fixed or cell.legalized:
+                self._insert_into_index(cell)
+
+    def mark_legalized(self, cell: Cell, x: float, y: float) -> None:
+        """Commit a cell to its legal position and add it to the obstacle index."""
+        if cell.legalized or cell.fixed:
+            self._remove_from_index(cell)
+        cell.move_to(x, y)
+        cell.legalized = True
+        self._insert_into_index(cell)
+
+    def move_obstacle(self, cell: Cell, new_x: float) -> None:
+        """Horizontally move an already-legalized obstacle cell.
+
+        Used by the insert & update step when committing the shifts chosen
+        by FOP.  Vertical moves are never needed because MGL restricts
+        shifting to the horizontal direction.
+        """
+        if not (cell.legalized or cell.fixed):
+            raise ValueError(f"cell {cell.name} is not an obstacle; use mark_legalized")
+        if cell.fixed:
+            raise ValueError(f"cell {cell.name} is fixed and cannot be shifted")
+        self._remove_from_index(cell)
+        cell.x = float(new_x)
+        self._insert_into_index(cell)
+
+    def obstacles_in_row(self, row: int) -> List[Cell]:
+        """Obstacle cells covering ``row``, sorted by current x."""
+        return [self.cells[idx] for _, idx in self._row_index[row]]
+
+    def obstacles_in_row_window(self, row: int, x_lo: float, x_hi: float) -> List[Cell]:
+        """Obstacle cells covering ``row`` that intersect ``[x_lo, x_hi)``."""
+        result: List[Cell] = []
+        for x, idx in self._row_index[row]:
+            cell = self.cells[idx]
+            if cell.x >= x_hi:
+                break
+            if cell.right > x_lo:
+                result.append(cell)
+        return result
+
+    def iter_obstacle_pairs(self) -> Iterator[Tuple[Cell, Cell]]:
+        """Yield pairs of horizontally adjacent obstacles in each row.
+
+        Useful for invariant checks: in a legal layout no adjacent pair
+        overlaps.
+        """
+        for row in range(self.num_rows):
+            cells = self.obstacles_in_row(row)
+            for left, right in zip(cells, cells[1:]):
+                yield left, right
+
+    # ------------------------------------------------------------------
+    # Window queries
+    # ------------------------------------------------------------------
+    def cells_intersecting(
+        self, x_lo: float, x_hi: float, row_lo: int, row_hi: int, *, include_unlegalized: bool = True
+    ) -> List[Cell]:
+        """All cells whose rectangle intersects the given window.
+
+        ``row_hi`` is exclusive.  This scans the full cell list and is only
+        used for density estimation and reporting; the hot path uses the
+        per-row obstacle index instead.
+        """
+        out = []
+        for cell in self.cells:
+            if not include_unlegalized and not (cell.fixed or cell.legalized):
+                continue
+            if cell.x < x_hi and cell.right > x_lo and cell.y < row_hi and cell.top > row_lo:
+                out.append(cell)
+        return out
+
+    def window_density(self, x_lo: float, x_hi: float, row_lo: int, row_hi: int) -> float:
+        """Cell-area density of a window, counting *all* cells.
+
+        Used by the sliding-window processing ordering (paper Sec. 3.1.2):
+        the density of a target cell's localRegion determines its priority
+        among the cells of the sliding window.
+        """
+        x_lo = max(0.0, x_lo)
+        x_hi = min(self.width, x_hi)
+        row_lo = max(0, row_lo)
+        row_hi = min(self.num_rows, row_hi)
+        area = (x_hi - x_lo) * (row_hi - row_lo)
+        if area <= 0:
+            return 0.0
+        occupied = 0.0
+        for cell in self.cells_intersecting(x_lo, x_hi, row_lo, row_hi):
+            dx = min(cell.right, x_hi) - max(cell.x, x_lo)
+            dy = min(cell.top, float(row_hi)) - max(cell.y, float(row_lo))
+            if dx > 0 and dy > 0:
+                occupied += dx * dy
+        return occupied / area
+
+    def row_span_interval(self, row: int) -> Interval:
+        """Horizontal extent of a row as an interval."""
+        return self.rows[row].span
+
+    # ------------------------------------------------------------------
+    # Convenience / debug
+    # ------------------------------------------------------------------
+    def copy(self) -> "Layout":
+        """Deep copy of the layout (cells are copied, indexes rebuilt)."""
+        clone = Layout(
+            self.num_rows,
+            self.num_sites,
+            (c.copy() for c in self.cells),
+            site_width=self.site_width,
+            row_height=self.row_height,
+            name=self.name,
+        )
+        return clone
+
+    def reset_positions(self) -> None:
+        """Reset every movable cell back to its global placement position."""
+        for cell in self.cells:
+            if cell.fixed:
+                continue
+            cell.x = cell.gp_x
+            cell.y = cell.gp_y
+            cell.legalized = False
+        self.rebuild_index()
+
+    def summary(self) -> str:
+        """One-line human readable summary of the design."""
+        hist = self.height_histogram()
+        hist_text = ", ".join(f"h{h}:{n}" for h, n in sorted(hist.items()))
+        return (
+            f"{self.name}: {len(self.movable_cells())} movable cells "
+            f"({hist_text}), {len(self.fixed_cells())} fixed, "
+            f"{self.num_rows} rows x {self.num_sites} sites, "
+            f"density {self.density() * 100:.1f}%"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Layout({self.summary()})"

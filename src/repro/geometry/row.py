@@ -1,0 +1,131 @@
+"""Placement rows and power/ground (P/G) rail alignment rules.
+
+Row-based standard-cell designs alternate VDD and VSS rails between rows.
+Single-row (odd-height) cells can always be flipped to match the rail of
+their row, but even-height cells have identical rails at their top and
+bottom edge, so their bottom row must have a specific rail parity (the
+"P/G alignment constraint" of Fig. 1 in the paper).  The helper
+:func:`pg_compatible` encodes this rule and is used by pre-move, by
+insertion-point enumeration and by the legality checker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry.interval import Interval
+
+
+class PowerRail(enum.Enum):
+    """Rail type at the bottom edge of a row."""
+
+    VDD = "VDD"
+    VSS = "VSS"
+
+    def flipped(self) -> "PowerRail":
+        """Return the opposite rail."""
+        return PowerRail.VSS if self is PowerRail.VDD else PowerRail.VDD
+
+
+@dataclass(frozen=True)
+class Row:
+    """A placement row.
+
+    Attributes
+    ----------
+    index:
+        Row index; the row occupies ``[index, index + 1)`` in row units.
+    x_lo, x_hi:
+        Horizontal extent of the row in site units.
+    bottom_rail:
+        The power rail at the bottom edge of the row.  Rows alternate
+        rails: row ``i`` has VSS at its bottom when ``i`` is even (the
+        ICCAD-2017 convention) and VDD otherwise.
+    """
+
+    index: int
+    x_lo: float
+    x_hi: float
+    bottom_rail: PowerRail
+
+    @property
+    def y(self) -> float:
+        """Bottom y coordinate of the row in row units."""
+        return float(self.index)
+
+    @property
+    def num_sites(self) -> int:
+        """Number of placement sites in the row."""
+        return int(round(self.x_hi - self.x_lo))
+
+    @property
+    def span(self) -> Interval:
+        """Horizontal extent of the row as an :class:`Interval`."""
+        return Interval(self.x_lo, self.x_hi)
+
+    @staticmethod
+    def default_rail(index: int) -> PowerRail:
+        """Rail at the bottom of row ``index`` under the alternating scheme."""
+        return PowerRail.VSS if index % 2 == 0 else PowerRail.VDD
+
+
+def pg_compatible(cell_height: int, bottom_row_index: int) -> bool:
+    """Return True when a cell of the given height may start on a row.
+
+    Odd-height cells have different rails at their top and bottom edges,
+    so they can always be flipped to match whichever rail their bottom row
+    provides: any row is acceptable.  Even-height cells have the same rail
+    at both edges and therefore must be anchored on rows of a fixed
+    parity; following the ICCAD-2017 convention we require even-height
+    cells to start on even rows (VSS-bottom rows).
+    """
+    if cell_height % 2 == 1:
+        return True
+    return bottom_row_index % 2 == 0
+
+
+def legal_bottom_rows(cell_height: int, num_rows: int) -> range:
+    """Iterate the bottom-row indexes on which a cell of a height may start.
+
+    The cell must fit vertically (``bottom + height <= num_rows``) and
+    satisfy the P/G alignment rule.  For odd heights this is simply
+    ``range(0, num_rows - height + 1)``; even heights step by 2.
+    """
+    last = num_rows - cell_height
+    if last < 0:
+        return range(0)
+    if cell_height % 2 == 1:
+        return range(0, last + 1)
+    return range(0, last + 1, 2)
+
+
+def nearest_legal_row(y: float, cell_height: int, num_rows: int) -> int:
+    """Snap a continuous y coordinate to the nearest legal bottom row.
+
+    Used by the pre-move step (paper Fig. 3(e), step a): cells are
+    temporarily positioned in the nearest designated row, tolerating
+    overlaps, before the main legalization loop runs.
+
+    Raises
+    ------
+    ValueError
+        If the cell cannot fit vertically anywhere on the chip.
+    """
+    candidates = legal_bottom_rows(cell_height, num_rows)
+    if len(candidates) == 0:
+        raise ValueError(
+            f"cell of height {cell_height} does not fit in a chip with {num_rows} rows"
+        )
+    target = int(round(y))
+    lo, hi = candidates[0], candidates[-1]
+    step = 2 if cell_height % 2 == 0 else 1
+    clamped = min(max(target, lo), hi)
+    if step == 1:
+        return clamped
+    # Even-height cell: choose the closer even row to the original y.
+    below = clamped - (clamped - lo) % step
+    above = below + step
+    if above > hi:
+        return below
+    return below if abs(below - y) <= abs(above - y) else above

@@ -1,0 +1,26 @@
+"""Legality checking and placement-quality metrics.
+
+:class:`LegalityChecker` verifies the hard constraints of the
+mixed-cell-height legalization problem (paper Section 2.1):
+
+* every cell lies inside the core area;
+* every cell is aligned to the site grid and the row grid;
+* even-height cells respect the power-rail (P/G) alignment constraint;
+* no two cells overlap.
+
+:class:`PlacementMetrics` computes the quality measures used in the
+evaluation: per-cell Manhattan displacement (Eq. 1), the height-averaged
+average displacement ``S_am`` (Eq. 2), and maximum displacement.
+"""
+
+from repro.legality.checker import LegalityChecker, LegalityReport, Violation, ViolationKind
+from repro.legality.metrics import DisplacementStats, PlacementMetrics
+
+__all__ = [
+    "LegalityChecker",
+    "LegalityReport",
+    "Violation",
+    "ViolationKind",
+    "PlacementMetrics",
+    "DisplacementStats",
+]

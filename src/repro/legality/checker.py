@@ -1,0 +1,196 @@
+"""Legality checker for mixed-cell-height placements.
+
+The checker validates the constraints listed in paper Section 2.1.  It is
+deliberately independent of the legalizers: tests use it as the ground
+truth that every legalizer (MGL, FLEX, baselines) must satisfy.
+
+Overlap checking uses a sweep over per-row buckets so that it stays
+near-linear in the number of subcells; for the design sizes used in the
+test-suite and benchmarks this is more than fast enough.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.cell import Cell
+from repro.geometry.layout import Layout
+from repro.geometry.row import pg_compatible
+
+
+class ViolationKind(enum.Enum):
+    """Categories of legality violations."""
+
+    OUT_OF_BOUNDS = "out_of_bounds"
+    OFF_SITE = "off_site"
+    OFF_ROW = "off_row"
+    PG_MISALIGNED = "pg_misaligned"
+    OVERLAP = "overlap"
+    NOT_LEGALIZED = "not_legalized"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single legality violation involving one or two cells."""
+
+    kind: ViolationKind
+    cell: int
+    other: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.other is not None:
+            return f"{self.kind.value}: cell {self.cell} vs {self.other} ({self.detail})"
+        return f"{self.kind.value}: cell {self.cell} ({self.detail})"
+
+
+@dataclass
+class LegalityReport:
+    """Result of a legality check."""
+
+    violations: List[Violation] = field(default_factory=list)
+    cells_checked: int = 0
+
+    @property
+    def legal(self) -> bool:
+        """True when the placement satisfies all constraints."""
+        return not self.violations
+
+    def count(self, kind: ViolationKind) -> int:
+        """Number of violations of a given kind."""
+        return sum(1 for v in self.violations if v.kind is kind)
+
+    def summary(self) -> str:
+        """Human-readable one-line summary."""
+        if self.legal:
+            return f"legal ({self.cells_checked} cells checked)"
+        per_kind = {k: self.count(k) for k in ViolationKind if self.count(k)}
+        parts = ", ".join(f"{k.value}={n}" for k, n in per_kind.items())
+        return f"ILLEGAL: {len(self.violations)} violations ({parts})"
+
+
+class LegalityChecker:
+    """Checks a :class:`~repro.geometry.Layout` for legality.
+
+    Parameters
+    ----------
+    grid_tol:
+        Tolerance when checking site/row alignment (positions are floats).
+    require_all_legalized:
+        When True (default), movable cells that are not marked legalized
+        are reported as :data:`ViolationKind.NOT_LEGALIZED`.
+    """
+
+    def __init__(self, *, grid_tol: float = 1e-6, require_all_legalized: bool = True) -> None:
+        self.grid_tol = grid_tol
+        self.require_all_legalized = require_all_legalized
+
+    # ------------------------------------------------------------------
+    def check(self, layout: Layout) -> LegalityReport:
+        """Run all checks and return a :class:`LegalityReport`."""
+        report = LegalityReport()
+        cells = [c for c in layout.cells if c.fixed or c.legalized or self.require_all_legalized]
+        report.cells_checked = len(cells)
+        for cell in cells:
+            if not cell.fixed and not cell.legalized and self.require_all_legalized:
+                report.violations.append(
+                    Violation(ViolationKind.NOT_LEGALIZED, cell.index, detail="cell never legalized")
+                )
+                continue
+            self._check_single(layout, cell, report)
+        self._check_overlaps(layout, cells, report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _check_single(self, layout: Layout, cell: Cell, report: LegalityReport) -> None:
+        if cell.x < -self.grid_tol or cell.right > layout.width + self.grid_tol:
+            report.violations.append(
+                Violation(
+                    ViolationKind.OUT_OF_BOUNDS,
+                    cell.index,
+                    detail=f"x span [{cell.x:g},{cell.right:g}] outside [0,{layout.width:g}]",
+                )
+            )
+        if cell.y < -self.grid_tol or cell.top > layout.height + self.grid_tol:
+            report.violations.append(
+                Violation(
+                    ViolationKind.OUT_OF_BOUNDS,
+                    cell.index,
+                    detail=f"y span [{cell.y:g},{cell.top:g}] outside [0,{layout.height:g}]",
+                )
+            )
+        if cell.fixed:
+            # Fixed cells may be off-grid macros; only bounds are enforced.
+            return
+        if abs(cell.x - round(cell.x)) > self.grid_tol:
+            report.violations.append(
+                Violation(ViolationKind.OFF_SITE, cell.index, detail=f"x={cell.x!r} not on site grid")
+            )
+        if abs(cell.y - round(cell.y)) > self.grid_tol:
+            report.violations.append(
+                Violation(ViolationKind.OFF_ROW, cell.index, detail=f"y={cell.y!r} not on row grid")
+            )
+        else:
+            row = int(round(cell.y))
+            if not pg_compatible(cell.height, row):
+                report.violations.append(
+                    Violation(
+                        ViolationKind.PG_MISALIGNED,
+                        cell.index,
+                        detail=f"height-{cell.height} cell anchored on row {row}",
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def _check_overlaps(self, layout: Layout, cells: Sequence[Cell], report: LegalityReport) -> None:
+        # Bucket subcells per row, then sweep each row by x.  A pair is
+        # reported at most once even when it overlaps in several rows.
+        buckets: Dict[int, List[Cell]] = {}
+        for cell in cells:
+            if not (cell.fixed or cell.legalized):
+                continue
+            bottom = int(round(cell.y)) if not cell.fixed else int(cell.y // 1)
+            top = bottom + cell.height if not cell.fixed else int(-(-cell.top // 1))
+            for row in range(max(0, bottom), min(layout.num_rows, top)):
+                buckets.setdefault(row, []).append(cell)
+        reported: set[Tuple[int, int]] = set()
+        for row, row_cells in buckets.items():
+            row_cells.sort(key=lambda c: c.x)
+            for left, right in zip(row_cells, row_cells[1:]):
+                if right.x < left.right - self.grid_tol:
+                    key = (min(left.index, right.index), max(left.index, right.index))
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    report.violations.append(
+                        Violation(
+                            ViolationKind.OVERLAP,
+                            key[0],
+                            other=key[1],
+                            detail=f"row {row}: overlap width {left.right - right.x:.3f}",
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    def total_overlap_area(self, layout: Layout) -> float:
+        """Sum of pairwise overlap areas among obstacle cells.
+
+        Useful as a progress metric during legalization: a finished run
+        must report exactly zero.
+        """
+        total = 0.0
+        seen: set[Tuple[int, int]] = set()
+        for row in range(layout.num_rows):
+            row_cells = layout.obstacles_in_row(row)
+            for i, left in enumerate(row_cells):
+                for right in row_cells[i + 1 :]:
+                    if right.x >= left.right:
+                        break
+                    key = (min(left.index, right.index), max(left.index, right.index))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    total += left.overlap_area(right)
+        return total

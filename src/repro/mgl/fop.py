@@ -1,0 +1,226 @@
+"""FOP: finding the optimal placement position of a target cell (step d).
+
+FOP is the computational bottleneck of MGL (and the part FLEX offloads to
+the FPGA).  For a given localRegion it traverses all candidate insertion
+points (paper Fig. 3(e), the triple loop), and for each one runs cell
+shifting followed by the displacement-curve pipeline to obtain the best
+target position and its cost.  The insertion point with the overall
+lowest cost wins.
+
+The work performed per insertion point is recorded into
+:class:`~repro.perf.counters.InsertionPointWork` entries so that the
+CPU cost models and the FPGA cycle models can replay it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.geometry.cell import Cell
+from repro.geometry.region import LocalRegion
+from repro.mgl.curves import (
+    BreakpointPiece,
+    evaluate_piecewise,
+    left_shift_curve,
+    minimize_curves,
+    minimize_curves_fwd_bwd,
+    right_shift_curve,
+    target_curve,
+)
+from repro.mgl.insertion import (
+    InsertionPoint,
+    candidate_bottom_rows,
+    enumerate_insertion_points,
+)
+from repro.mgl.shifting import OriginalShifter, ShiftOutcome
+from repro.perf.counters import InsertionPointWork, TargetCellWork
+
+_EPS = 1e-9
+
+
+@dataclass
+class FOPConfig:
+    """Configuration of the FOP kernel.
+
+    Attributes
+    ----------
+    shifter:
+        The cell-shifting implementation: :class:`OriginalShifter` (the
+        baseline multi-pass algorithm) or
+        :class:`repro.core.sacs.SortAheadShifter` (FLEX).
+    use_fwd_bwd_pipeline:
+        Select the reorganised fwdtraverse/bwdtraverse curve evaluation
+        (FLEX) instead of the original five-stage organisation.  Both
+        produce identical optima.
+    vertical_cost_factor:
+        Cost of one row of vertical displacement expressed in site widths
+        (rows are several sites tall in physical units), so that FOP
+        trades off vertical against horizontal displacement consistently.
+    max_points_per_row:
+        Optional cap on the number of insertion points enumerated per
+        candidate bottom row (used only by approximate baseline models).
+    """
+
+    shifter: object = field(default_factory=OriginalShifter)
+    use_fwd_bwd_pipeline: bool = False
+    vertical_cost_factor: float = 10.0
+    max_points_per_row: Optional[int] = None
+
+
+@dataclass
+class FOPResult:
+    """Best placement found for a target cell inside its localRegion."""
+
+    feasible: bool
+    bottom_row: Optional[int] = None
+    x: Optional[float] = None
+    cost: float = math.inf
+    insertion: Optional[InsertionPoint] = None
+    outcome: Optional[ShiftOutcome] = None
+    n_points_evaluated: int = 0
+    n_points_feasible: int = 0
+
+
+# ----------------------------------------------------------------------
+def build_curves(
+    region: LocalRegion,
+    target: Cell,
+    bottom_row: int,
+    outcome: ShiftOutcome,
+    vertical_cost_factor: float,
+) -> Tuple[List[BreakpointPiece], float]:
+    """Assemble the displacement curves of one insertion point.
+
+    Returns the elementary breakpoint pieces plus the constant term (the
+    target's vertical displacement and the shifted cells' constants).
+    Costs are expressed in site widths.
+    """
+    vertical_cost = abs(bottom_row - target.gp_y) * vertical_cost_factor
+    pieces, constant = target_curve(target.gp_x, vertical_cost)
+    pieces = list(pieces)
+    for idx, threshold in outcome.left_thresholds.items():
+        cell = region.local_cells[idx]
+        cell_pieces, cell_const = left_shift_curve(threshold, cell.x, cell.gp_x)
+        pieces.extend(cell_pieces)
+        constant += cell_const
+    for idx, threshold in outcome.right_thresholds.items():
+        cell = region.local_cells[idx]
+        cell_pieces, cell_const = right_shift_curve(threshold, target.width, cell.x, cell.gp_x)
+        pieces.extend(cell_pieces)
+        constant += cell_const
+    return pieces, constant
+
+
+def _snap_to_sites(
+    pieces: List[BreakpointPiece],
+    constant: float,
+    best_x: float,
+    lo: float,
+    hi: float,
+) -> Tuple[Optional[float], float]:
+    """Snap the continuous optimum to the site grid inside ``[lo, hi]``.
+
+    Evaluates the summed curve exactly at the floor and ceiling sites of
+    the continuous optimum and returns the better one.
+    """
+    site_lo = math.ceil(lo - _EPS)
+    site_hi = math.floor(hi + _EPS)
+    if site_lo > site_hi:
+        return None, math.inf
+    candidates = {min(max(math.floor(best_x), site_lo), site_hi),
+                  min(max(math.ceil(best_x), site_lo), site_hi)}
+    best: Tuple[Optional[float], float] = (None, math.inf)
+    for x in sorted(candidates):
+        value = evaluate_piecewise(pieces, constant, float(x))
+        if value < best[1] - _EPS:
+            best = (float(x), value)
+    return best
+
+
+def evaluate_insertion_point(
+    region: LocalRegion,
+    target: Cell,
+    insertion: InsertionPoint,
+    config: FOPConfig,
+) -> Tuple[Optional[float], float, ShiftOutcome, InsertionPointWork]:
+    """Evaluate one insertion point: shift, build curves, minimize, snap.
+
+    Returns ``(best_x, best_cost, shift_outcome, work_record)`` with
+    ``best_x = None`` when the point is infeasible.
+    """
+    outcome = config.shifter.shift(region, target, insertion)
+    work = InsertionPointWork(
+        n_local_cells=len(region.local_cells),
+        n_subcells=region.total_subcells(),
+        shift_passes=outcome.passes,
+        shift_cell_visits=outcome.cell_visits,
+        chain_left=len(outcome.left_thresholds),
+        chain_right=len(outcome.right_thresholds),
+        sort_size=outcome.sorted_cells,
+        multirow_accesses=outcome.multirow_accesses,
+        tall_accesses=outcome.tall_accesses,
+        feasible=outcome.feasible,
+    )
+    if not outcome.feasible:
+        return None, math.inf, outcome, work
+
+    pieces, constant = build_curves(
+        region, target, insertion.bottom_row, outcome, config.vertical_cost_factor
+    )
+    minimizer = minimize_curves_fwd_bwd if config.use_fwd_bwd_pipeline else minimize_curves
+    evaluation = minimizer(
+        pieces, constant, outcome.xt_lo, outcome.xt_hi, preferred_x=target.gp_x
+    )
+    work.n_breakpoints = evaluation.n_breakpoints
+    work.n_merged_breakpoints = evaluation.n_merged
+    best_x, best_cost = _snap_to_sites(
+        pieces, constant, evaluation.best_x, outcome.xt_lo, outcome.xt_hi
+    )
+    if best_x is None:
+        work.feasible = False
+        return None, math.inf, outcome, work
+    return best_x, best_cost, outcome, work
+
+
+def find_optimal_position(
+    region: LocalRegion,
+    target: Cell,
+    config: Optional[FOPConfig] = None,
+    work: Optional[TargetCellWork] = None,
+) -> FOPResult:
+    """Run FOP for one target cell inside its localRegion.
+
+    ``work`` (when given) receives one :class:`InsertionPointWork` entry
+    per evaluated insertion point; the caller owns the record.
+    """
+    config = config or FOPConfig()
+    config.shifter.prepare(region)
+    result = FOPResult(feasible=False)
+    for bottom_row in candidate_bottom_rows(region, target):
+        points = enumerate_insertion_points(
+            region, target, bottom_row, max_points=config.max_points_per_row
+        )
+        for insertion in points:
+            best_x, cost, outcome, ip_work = evaluate_insertion_point(
+                region, target, insertion, config
+            )
+            result.n_points_evaluated += 1
+            if work is not None:
+                work.add_insertion_point(ip_work)
+            if best_x is None:
+                continue
+            result.n_points_feasible += 1
+            better = cost < result.cost - _EPS
+            tie = abs(cost - result.cost) <= _EPS and result.x is not None and abs(
+                best_x - target.gp_x
+            ) < abs(result.x - target.gp_x)
+            if better or tie:
+                result.feasible = True
+                result.cost = cost
+                result.x = best_x
+                result.bottom_row = bottom_row
+                result.insertion = insertion
+                result.outcome = outcome
+    return result

@@ -1,0 +1,158 @@
+"""Step (c) of the MGL flow: define the localRegion of a target cell.
+
+For every row of the target's search window the *longest* continuous run
+of unblocked placement sites becomes the row's localSegment; legalized
+cells fully contained in those segments become localCells; everything
+else (fixed blockages and cells that only partially overlap the window)
+is treated as a blockage that clips the segments.
+
+The localRegion's density is also computed here because the FLEX
+processing ordering (paper Sec. 3.1.2) consumes it — keeping steps (b)
+and (c) both on the CPU avoids transferring the density back from the
+FPGA (Sec. 3.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry.cell import Cell
+from repro.geometry.interval import Interval, subtract_intervals
+from repro.geometry.layout import Layout
+from repro.geometry.region import LocalRegion, LocalSegment, Window
+
+
+def initial_window(
+    layout: Layout,
+    target: Cell,
+    *,
+    width_factor: float = 5.0,
+    min_width: float = 24.0,
+    extra_rows: int = 3,
+) -> Window:
+    """Open the initial search window around a (pre-moved) target cell.
+
+    The window is centred on the target's current position; its width is
+    ``max(min_width, width_factor * target.width)`` sites and it covers
+    the target's rows plus ``extra_rows`` above and below, clipped to the
+    chip.  FOP widens the window when no feasible insertion point exists.
+    """
+    half_width = max(min_width, width_factor * target.width) / 2.0
+    centre = target.x + target.width / 2.0
+    bottom = int(round(target.y))
+    return Window(
+        x_lo=max(0.0, centre - half_width),
+        x_hi=min(layout.width, centre + half_width),
+        row_lo=max(0, bottom - extra_rows),
+        row_hi=min(layout.num_rows, bottom + target.height + extra_rows),
+    )
+
+
+def build_local_region(
+    layout: Layout, target: Cell, window: Window
+) -> Tuple[LocalRegion, int]:
+    """Extract the localRegion of ``target`` inside ``window``.
+
+    Returns the region together with the number of obstacle cells scanned
+    (the work measure of step (c) consumed by the CPU cost model).
+    """
+    scanned = 0
+    window_x = Interval(window.x_lo, window.x_hi)
+
+    # Gather the obstacle cells touching each window row once.  Obstacles
+    # that are not fully contained in the window (or are fixed) always clip
+    # the row's free span; fully-contained legalized cells start out as
+    # localCell candidates, but any candidate that ends up outside the
+    # chosen segments must be demoted to a blockage and the segments
+    # recomputed — otherwise it would be invisible to FOP and the target
+    # could be placed on top of it.
+    row_obstacles: Dict[int, List] = {}
+    forced_holes: Dict[int, List[Interval]] = {}
+    candidates: Dict[int, object] = {}
+    for row in window.rows():
+        row_interval = layout.row_span_interval(row).intersect(window_x)
+        if row_interval.empty:
+            continue
+        cells_here = layout.obstacles_in_row_window(row, window.x_lo, window.x_hi)
+        scanned += len(cells_here)
+        row_obstacles[row] = cells_here
+        forced_holes[row] = []
+        for cell in cells_here:
+            if cell.index == target.index:
+                continue
+            fully_inside = (
+                not cell.fixed
+                and window.contains_rect(cell.x, cell.y, cell.width, cell.height)
+                and all(r in window.rows() for r in cell.rows_covered())
+            )
+            if fully_inside:
+                candidates[cell.index] = cell
+            else:
+                forced_holes[row].append(Interval(cell.x, cell.right))
+
+    demoted: set = set()
+    segments: Dict[int, LocalSegment] = {}
+    for _ in range(1 + len(candidates)):
+        # Recompute the per-row longest free run given the current holes.
+        segments = {}
+        for row, cells_here in row_obstacles.items():
+            row_interval = layout.row_span_interval(row).intersect(window_x)
+            holes = list(forced_holes[row])
+            holes.extend(
+                Interval(c.x, c.right)
+                for c in cells_here
+                if c.index in demoted
+            )
+            free = subtract_intervals(row_interval, holes)
+            if not free:
+                continue
+            longest = max(free, key=lambda iv: iv.length)
+            segments[row] = LocalSegment(row=row, interval=longest)
+        # Demote candidates that are not contained in the segments of every
+        # row they cover; repeat until stable.
+        newly_demoted = False
+        for index, cell in candidates.items():
+            if index in demoted:
+                continue
+            contained = True
+            for r in cell.rows_covered():
+                seg_r = segments.get(r)
+                if seg_r is None or not seg_r.interval.contains_interval(
+                    Interval(cell.x, cell.right)
+                ):
+                    contained = False
+                    break
+            if not contained:
+                demoted.add(index)
+                newly_demoted = True
+        if not newly_demoted:
+            break
+
+    region = LocalRegion(window=window, target=target)
+    for segment in segments.values():
+        region.add_segment(segment)
+    for index, cell in candidates.items():
+        if index not in demoted:
+            region.add_local_cell(cell)
+
+    region.finalize()
+    region.density = layout.window_density(window.x_lo, window.x_hi, window.row_lo, window.row_hi)
+    return region, scanned
+
+
+def region_transfer_words(region: LocalRegion) -> int:
+    """Estimated number of 32-bit words transferred to the FPGA for a region.
+
+    The FLEX host sends, per localCell, its position, width, height and
+    segment membership (LCT + LCPT initial content), plus per-segment
+    bounds and the target descriptor.  Used by the CPU–FPGA link model.
+    """
+    per_cell_words = 4
+    per_segment_words = 3
+    header_words = 8
+    return (
+        header_words
+        + per_cell_words * len(region.local_cells)
+        + per_segment_words * len(region.segments)
+        + sum(len(lc.rows) for lc in region.local_cells)  # LSC entries
+    )

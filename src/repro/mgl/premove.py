@@ -1,0 +1,40 @@
+"""Step (a) of the MGL flow: input & pre-move.
+
+Every movable cell is temporarily positioned on the nearest designated
+row that satisfies the P/G alignment constraint, and its x coordinate is
+snapped to the site grid, tolerating the overlaps this creates.  The step
+is inherently serial and cheap, which is why FLEX keeps it on the CPU
+(paper Sec. 3.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.geometry.cell import Cell
+from repro.geometry.layout import Layout
+from repro.geometry.row import nearest_legal_row
+
+
+def premove_cell(layout: Layout, cell: Cell) -> None:
+    """Snap one cell to the nearest legal row / site, keeping it on-chip."""
+    row = nearest_legal_row(cell.gp_y, cell.height, layout.num_rows)
+    x = round(cell.gp_x)
+    x = min(max(0.0, x), layout.width - cell.width)
+    cell.x = float(x)
+    cell.y = float(row)
+
+
+def premove(layout: Layout) -> int:
+    """Pre-move every movable, not-yet-legalized cell.
+
+    Returns the number of cells processed (the work measure of step (a)).
+    Fixed cells and already-legalized cells are left untouched.
+    """
+    count = 0
+    for cell in layout.cells:
+        if cell.fixed or cell.legalized:
+            continue
+        premove_cell(layout, cell)
+        count += 1
+    return count

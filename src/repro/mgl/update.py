@@ -1,0 +1,40 @@
+"""Step (e) of the MGL flow: insert & update.
+
+Commits the best position found by FOP: the target cell is placed at the
+winning coordinates and every cell the winning insertion point pushes is
+moved to its shifted position.  FLEX keeps this step on the CPU to avoid
+streaming all updated positions back from the FPGA (paper Sec. 3.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry.cell import Cell
+from repro.geometry.layout import Layout
+from repro.geometry.region import LocalRegion
+from repro.mgl.fop import FOPResult
+from repro.mgl.shifting import shifted_positions, verify_no_overlap
+
+
+def commit_placement(
+    layout: Layout, region: LocalRegion, target: Cell, result: FOPResult
+) -> Optional[int]:
+    """Apply an FOP result to the layout.
+
+    Returns the number of localCells whose position changed, or ``None``
+    when the result could not be applied safely (the defensive overlap
+    verification failed), in which case the caller should retry with a
+    larger window.
+    """
+    if not result.feasible or result.x is None or result.bottom_row is None:
+        return None
+    assert result.outcome is not None and result.insertion is not None
+    moves = shifted_positions(result.outcome, region, result.x, target.width)
+    if not verify_no_overlap(region, moves, result.x, target.width, result.insertion):
+        return None
+    # Move the pushed localCells first, then insert the target.
+    for idx, new_x in moves.items():
+        layout.move_obstacle(region.local_cells[idx].cell, new_x)
+    layout.mark_legalized(target, result.x, float(result.bottom_row))
+    return len(moves)

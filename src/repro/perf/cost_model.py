@@ -1,0 +1,164 @@
+"""Single-thread CPU cost model.
+
+Converts the hardware-independent work counters of a
+:class:`~repro.perf.counters.LegalizationTrace` into an estimated
+single-thread CPU runtime.  The per-operation costs are engineering
+estimates for a ~3 GHz out-of-order core running the pointer-heavy MGL
+implementation (Ripple-style C++): tens of nanoseconds per touched cell
+or breakpoint, which includes the cache misses caused by the irregular
+access patterns the paper highlights.
+
+The absolute values only set the overall time scale; every experiment in
+the harness reports *ratios* between configurations evaluated with the
+same constants, which is also how the paper reports its results.  All
+constants can be overridden through :class:`CpuCostParameters` for
+sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.perf.counters import FOP_STAGES, LegalizationTrace
+
+
+@dataclass(frozen=True)
+class CpuCostParameters:
+    """Per-operation CPU costs, in nanoseconds."""
+
+    premove_per_cell_ns: float = 150.0
+    """Snapping one cell to its nearest row/site (step a)."""
+
+    ordering_per_comparison_ns: float = 12.0
+    """One comparison inside the processing-order sort (step b)."""
+
+    region_per_word_ns: float = 10.0
+    """Building the localRegion, per descriptor word produced (step c)."""
+
+    shift_per_visit_ns: float = 7.0
+    """One subcell visit of cell shifting (compare + conditional move on
+    cached row data; the multi-pass re-traversals are what make this the
+    dominant FOP cost, not the per-visit price)."""
+
+    sort_per_item_log_ns: float = 6.0
+    """Breakpoint sorting, per ``item * log2(items)`` unit."""
+
+    bp_per_item_ns: float = 4.0
+    """Merging, slope accumulation and value computation, per breakpoint."""
+
+    insertion_point_overhead_ns: float = 60.0
+    """Fixed overhead per insertion point (loop control, bound checks)."""
+
+    target_overhead_ns: float = 400.0
+    """Fixed overhead per target cell (window setup, bookkeeping)."""
+
+    update_per_move_ns: float = 120.0
+    """Committing one moved cell during insert & update (step e)."""
+
+
+@dataclass
+class CpuTimeBreakdown:
+    """Modeled single-thread CPU time split by MGL step (seconds)."""
+
+    premove: float = 0.0
+    ordering: float = 0.0
+    region: float = 0.0
+    fop: float = 0.0
+    update: float = 0.0
+    fop_stages: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.premove + self.ordering + self.region + self.fop + self.update
+
+    @property
+    def cpu_side_without_fop(self) -> float:
+        """Time of the steps FLEX keeps on the CPU (a, b, c, e)."""
+        return self.premove + self.ordering + self.region + self.update
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {
+            "premove": self.premove,
+            "ordering": self.ordering,
+            "region": self.region,
+            "fop": self.fop,
+            "update": self.update,
+            "total": self.total,
+        }
+        out.update({f"fop.{k}": v for k, v in self.fop_stages.items()})
+        return out
+
+
+class CpuCostModel:
+    """Estimates single-thread CPU runtimes from a legalization trace."""
+
+    def __init__(self, params: Optional[CpuCostParameters] = None) -> None:
+        self.params = params or CpuCostParameters()
+
+    # ------------------------------------------------------------------
+    def fop_stage_seconds(self, trace: LegalizationTrace) -> Dict[str, float]:
+        """Modeled CPU seconds per FOP stage (drives Fig. 2(g))."""
+        p = self.params
+        seconds = {stage: 0.0 for stage in FOP_STAGES}
+        for ip in trace.iter_insertion_points():
+            n_bp = max(1, ip.n_breakpoints)
+            n_merged = max(1, ip.n_merged_breakpoints)
+            seconds["cell_shift"] += ip.shift_cell_visits * p.shift_per_visit_ns
+            seconds["sort_bp"] += n_bp * max(1.0, math.log2(n_bp)) * p.sort_per_item_log_ns
+            seconds["merge_bp"] += n_bp * p.bp_per_item_ns
+            seconds["sum_slopesR"] += n_merged * p.bp_per_item_ns
+            seconds["sum_slopesL"] += n_merged * p.bp_per_item_ns
+            seconds["calculate_value"] += n_merged * p.bp_per_item_ns
+        return {k: v * 1e-9 for k, v in seconds.items()}
+
+    def breakdown(self, trace: LegalizationTrace) -> CpuTimeBreakdown:
+        """Full per-step CPU time breakdown of a run."""
+        p = self.params
+        out = CpuTimeBreakdown()
+        out.premove = trace.premove_cells * p.premove_per_cell_ns * 1e-9
+        out.ordering = trace.ordering_ops * p.ordering_per_comparison_ns * 1e-9
+        out.region = trace.total_transfer_words * p.region_per_word_ns * 1e-9
+        out.fop_stages = self.fop_stage_seconds(trace)
+        overheads = (
+            trace.total_insertion_points * p.insertion_point_overhead_ns
+            + len(trace.targets) * p.target_overhead_ns
+        ) * 1e-9
+        out.fop = sum(out.fop_stages.values()) + overheads
+        out.update = (
+            (trace.total_update_moves + len(trace.targets)) * p.update_per_move_ns * 1e-9
+        )
+        return out
+
+    def total_seconds(self, trace: LegalizationTrace) -> float:
+        """Modeled single-thread CPU runtime of the whole run."""
+        return self.breakdown(trace).total
+
+    # ------------------------------------------------------------------
+    def per_target_host_times(self, trace: LegalizationTrace) -> Dict[int, Dict[str, float]]:
+        """Per-target CPU times of the host-side steps (c) and (e).
+
+        Used by the co-execution timeline: while the FPGA runs FOP for
+        target ``i`` the CPU builds the region of target ``i+1`` and
+        commits the update of target ``i-1``.
+        """
+        p = self.params
+        out: Dict[int, Dict[str, float]] = {}
+        for work in trace.targets:
+            region_s = work.region_transfer_words * p.region_per_word_ns * 1e-9
+            update_s = (work.update_moved_cells + 1) * p.update_per_move_ns * 1e-9
+            fop_s = 0.0
+            for ip in work.insertion_points:
+                n_bp = max(1, ip.n_breakpoints)
+                n_merged = max(1, ip.n_merged_breakpoints)
+                fop_s += (
+                    ip.shift_cell_visits * p.shift_per_visit_ns
+                    + n_bp * max(1.0, math.log2(n_bp)) * p.sort_per_item_log_ns
+                    + n_bp * p.bp_per_item_ns
+                    + 3 * n_merged * p.bp_per_item_ns
+                    + p.insertion_point_overhead_ns
+                ) * 1e-9
+            fop_s += p.target_overhead_ns * 1e-9
+            out[work.cell_index] = {"region": region_s, "update": update_s, "fop": fop_s}
+        return out

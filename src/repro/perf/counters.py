@@ -1,0 +1,252 @@
+"""Work counters recorded while a legalizer runs.
+
+Every legalizer in this repository (MGL, FLEX, and the baselines built on
+them) records *what it did* rather than how long the Python interpreter
+took to do it: the number of insertion points evaluated per target cell,
+the number of subcell traversals performed by cell shifting, the number
+of breakpoints pushed through the FOP pipeline, and so on.  These counts
+are hardware-independent; the CPU cost models and the FPGA cycle models
+consume them to produce the modeled runtimes reported in the experiment
+harness.
+
+The granularity mirrors the decomposition of the paper:
+
+* :class:`InsertionPointWork` — one entry per insertion point evaluated
+  inside FOP (paper Fig. 3(e), the body of loop3);
+* :class:`TargetCellWork` — one entry per legalized target cell, covering
+  steps (b)–(e) for that cell;
+* :class:`LegalizationTrace` — the whole run, including the serial
+  pre-move step (a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+#: The six operations inside the FOP inner loop, in paper order (Fig. 3(e)).
+FOP_STAGES: Tuple[str, ...] = (
+    "cell_shift",
+    "sort_bp",
+    "merge_bp",
+    "sum_slopesR",
+    "sum_slopesL",
+    "calculate_value",
+)
+
+
+@dataclass
+class InsertionPointWork:
+    """Work performed to evaluate one insertion point.
+
+    Attributes
+    ----------
+    n_local_cells:
+        Number of localCells in the region when the point was evaluated.
+    n_subcells:
+        Total number of subcells in the region (one per row a localCell
+        covers); the traversal unit of the original cell shifting.
+    shift_passes:
+        Number of full-region passes the *original* multi-pass cell
+        shifting algorithm needed (always 1 for SACS).
+    shift_cell_visits:
+        Number of cell/subcell visits performed by the shifting algorithm
+        actually used (original: ``passes * n_subcells``; SACS: one visit
+        per localCell plus one per touched segment pointer).
+    chain_left / chain_right:
+        Number of cells that actually receive a left-move / right-move
+        threshold (the cells whose displacement curves are emitted).
+    n_breakpoints:
+        Number of elementary breakpoint pieces pushed through the
+        sort/merge/slope/value pipeline.
+    n_merged_breakpoints:
+        Number of distinct breakpoint x-coordinates after merging.
+    sort_size:
+        Number of localCells pre-sorted by SACS (0 when the original
+        algorithm is used; the sort is shared across the insertion points
+        of one region, so only the first point of a region reports it).
+    multirow_accesses:
+        Number of accesses to localCells spanning more than one row
+        during shifting (drives the BRAM bandwidth model).
+    tall_accesses:
+        Number of accesses to localCells taller than three rows (drives
+        the Fig. 9 bandwidth-optimisation benefit).
+    feasible:
+        Whether the insertion point admitted any legal target position.
+    """
+
+    n_local_cells: int = 0
+    n_subcells: int = 0
+    shift_passes: int = 0
+    shift_cell_visits: int = 0
+    chain_left: int = 0
+    chain_right: int = 0
+    n_breakpoints: int = 0
+    n_merged_breakpoints: int = 0
+    sort_size: int = 0
+    multirow_accesses: int = 0
+    tall_accesses: int = 0
+    feasible: bool = True
+
+    @property
+    def chain_total(self) -> int:
+        """Total number of shifted (affected) cells."""
+        return self.chain_left + self.chain_right
+
+
+@dataclass
+class TargetCellWork:
+    """Work performed to legalize one target cell (steps b–e)."""
+
+    cell_index: int
+    height: int = 1
+    width: float = 1.0
+    n_local_cells: int = 0
+    n_subcells: int = 0
+    n_rows: int = 0
+    n_insertion_points: int = 0
+    window_retries: int = 0
+    fallback_used: bool = False
+    region_density: float = 0.0
+    region_transfer_words: int = 0
+    update_moved_cells: int = 0
+    insertion_points: List[InsertionPointWork] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add_insertion_point(self, work: InsertionPointWork) -> None:
+        self.insertion_points.append(work)
+        self.n_insertion_points = len(self.insertion_points)
+
+    @property
+    def total_shift_visits(self) -> int:
+        """Total shifting visits across the cell's insertion points."""
+        return sum(ip.shift_cell_visits for ip in self.insertion_points)
+
+    @property
+    def total_breakpoints(self) -> int:
+        """Total breakpoint pieces across the cell's insertion points."""
+        return sum(ip.n_breakpoints for ip in self.insertion_points)
+
+    @property
+    def total_sort_items(self) -> int:
+        """Total items pre-sorted for this cell's region(s)."""
+        return sum(ip.sort_size for ip in self.insertion_points)
+
+
+@dataclass
+class LegalizationTrace:
+    """Complete work record of one legalization run."""
+
+    design_name: str = "design"
+    algorithm: str = "mgl"
+    shift_algorithm: str = "original"
+    """Which cell-shifting engine recorded the per-insertion-point visit
+    counts (``"original"`` or ``"sacs"``); the FPGA cycle models need this
+    to translate visit counts when modeling the other engine."""
+    num_cells: int = 0
+    num_movable: int = 0
+    # Step (a): input & pre-move — one unit of work per movable cell.
+    premove_cells: int = 0
+    # Step (b): process ordering — comparisons performed by the ordering.
+    ordering_ops: int = 0
+    # Step (c): define localRegion — obstacle cells scanned per region build.
+    region_build_ops: int = 0
+    # Step (e): insert & update — cells whose committed position changed.
+    update_ops: int = 0
+    targets: List[TargetCellWork] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Aggregations used by the cost / cycle models
+    # ------------------------------------------------------------------
+    def add_target(self, work: TargetCellWork) -> None:
+        self.targets.append(work)
+
+    @property
+    def total_insertion_points(self) -> int:
+        return sum(t.n_insertion_points for t in self.targets)
+
+    @property
+    def total_shift_visits(self) -> int:
+        return sum(t.total_shift_visits for t in self.targets)
+
+    @property
+    def total_breakpoints(self) -> int:
+        return sum(t.total_breakpoints for t in self.targets)
+
+    @property
+    def total_sort_items(self) -> int:
+        return sum(t.total_sort_items for t in self.targets)
+
+    @property
+    def total_regions(self) -> int:
+        """Number of localRegions built (window retries build new regions)."""
+        return sum(1 + t.window_retries for t in self.targets)
+
+    @property
+    def total_transfer_words(self) -> int:
+        return sum(t.region_transfer_words for t in self.targets)
+
+    @property
+    def total_update_moves(self) -> int:
+        return sum(t.update_moved_cells for t in self.targets)
+
+    def iter_insertion_points(self) -> Iterable[InsertionPointWork]:
+        for target in self.targets:
+            yield from target.insertion_points
+
+    # ------------------------------------------------------------------
+    def fop_stage_workload(self) -> Dict[str, float]:
+        """Abstract work units per FOP stage (used for the Fig. 2(g) split).
+
+        Each stage's work unit is the quantity its runtime is proportional
+        to on a CPU: subcell visits for cell shifting, ``n log n`` for the
+        breakpoint sort, and the number of (merged) breakpoints for the
+        remaining stages.
+        """
+        import math
+
+        work = {stage: 0.0 for stage in FOP_STAGES}
+        for ip in self.iter_insertion_points():
+            n_bp = max(1, ip.n_breakpoints)
+            n_merged = max(1, ip.n_merged_breakpoints)
+            work["cell_shift"] += ip.shift_cell_visits
+            work["sort_bp"] += n_bp * max(1.0, math.log2(n_bp))
+            work["merge_bp"] += n_bp
+            work["sum_slopesR"] += n_merged
+            work["sum_slopesL"] += n_merged
+            work["calculate_value"] += n_merged
+        return work
+
+    def cell_shift_fraction(self) -> float:
+        """Fraction of abstract FOP work spent in cell shifting (Fig. 2(g))."""
+        work = self.fop_stage_workload()
+        total = sum(work.values())
+        if total <= 0:
+            return 0.0
+        return work["cell_shift"] / total
+
+    # ------------------------------------------------------------------
+    def merged_with(self, other: "LegalizationTrace") -> "LegalizationTrace":
+        """Combine two traces (used when a run is split across workers)."""
+        merged = LegalizationTrace(
+            design_name=self.design_name,
+            algorithm=self.algorithm,
+            num_cells=self.num_cells + other.num_cells,
+            num_movable=self.num_movable + other.num_movable,
+            premove_cells=self.premove_cells + other.premove_cells,
+            ordering_ops=self.ordering_ops + other.ordering_ops,
+            region_build_ops=self.region_build_ops + other.region_build_ops,
+            update_ops=self.update_ops + other.update_ops,
+        )
+        merged.targets = list(self.targets) + list(other.targets)
+        return merged
+
+    def summary(self) -> str:
+        """One-line description of the recorded work."""
+        return (
+            f"{self.design_name}/{self.algorithm}: {len(self.targets)} targets, "
+            f"{self.total_insertion_points} insertion points, "
+            f"{self.total_shift_visits} shift visits, "
+            f"{self.total_breakpoints} breakpoints"
+        )

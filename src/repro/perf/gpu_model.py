@@ -1,0 +1,146 @@
+"""Runtime model of the DATE'22 CPU-GPU legalizer.
+
+The CPU-GPU legalizer processes non-overlapping localRegions in parallel
+on the GPU while a scheduler hands the "tough" cells (large multi-row
+cells with heavily-constrained regions) to the CPU.  The paper identifies
+its two structural problems (Sec. 1 and Fig. 2):
+
+* coarse-grained, region-level parallelism requires a full position
+  synchronisation after every batch of regions, so the synchronisation
+  time grows with the number of batches (Fig. 2(b));
+* the number of independent regions available per batch falls short of
+  the GPU's core count, so extra CUDA cores do not help (Fig. 2(c));
+* the tough cells assigned to the CPU dominate the critical path even
+  though they are few (Fig. 2(d)).
+
+The model below reproduces these mechanisms from the recorded trace: GPU
+time scales with the easy-cell FOP work divided by an effective
+parallelism bounded by the number of independent regions per batch, plus
+a per-batch synchronisation cost; CPU time is the serial single-thread
+cost of the tough cells; the two run concurrently, so the total is their
+maximum plus the serial host steps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.perf.cost_model import CpuCostModel
+from repro.perf.counters import LegalizationTrace, TargetCellWork
+
+
+@dataclass(frozen=True)
+class GpuModelParameters:
+    """Calibration constants of the CPU-GPU runtime model."""
+
+    cuda_cores: int = 1536
+    """CUDA cores of the GTX 1660 Ti used by the baseline."""
+
+    max_parallel_regions: int = 96
+    """Independent (non-overlapping) regions available per batch; Fig. 2(c)
+    shows the achievable parallelism saturating well below the core count."""
+
+    gpu_thread_slowdown: float = 9.0
+    """A single GPU thread runs the irregular FOP code this many times
+    slower than the host CPU core (divergence, no queues, brute force)."""
+
+    batch_sync_seconds: float = 1.0e-3
+    """Position synchronisation + kernel relaunch cost per region batch."""
+
+    tough_height_threshold: int = 2
+    """Cells at least this tall are scheduled on the CPU as tough cells
+    (the DATE'22 scheduler hands multi-deck cells to the host)."""
+
+    tough_region_cells: int = 45
+    """Cells whose localRegion holds at least this many localCells are
+    also treated as tough (heavily constrained windows)."""
+
+    cpu_dispatch_overhead: float = 1.5
+    """Overhead factor on the CPU tough-cell path (scheduling, transfers)."""
+
+
+@dataclass
+class CpuGpuBreakdown:
+    """Modeled runtime components of the CPU-GPU legalizer (seconds)."""
+
+    serial_host: float = 0.0
+    gpu_compute: float = 0.0
+    gpu_sync: float = 0.0
+    cpu_tough: float = 0.0
+    n_tough_cells: int = 0
+    n_easy_cells: int = 0
+    n_batches: int = 0
+
+    @property
+    def total(self) -> float:
+        # The GPU batches and the CPU tough-cell path run concurrently, but
+        # the per-batch position synchronisation involves the host and
+        # cannot be hidden behind either side.
+        return self.serial_host + self.gpu_sync + max(self.gpu_compute, self.cpu_tough)
+
+
+class CpuGpuModel:
+    """Estimates the DATE'22 CPU-GPU legalizer's runtime from a trace."""
+
+    def __init__(
+        self,
+        params: Optional[GpuModelParameters] = None,
+        cost_model: Optional[CpuCostModel] = None,
+    ) -> None:
+        self.params = params or GpuModelParameters()
+        self.cost_model = cost_model or CpuCostModel()
+
+    # ------------------------------------------------------------------
+    def _is_tough(self, work: TargetCellWork) -> bool:
+        p = self.params
+        return (
+            work.height >= p.tough_height_threshold
+            or work.n_local_cells >= p.tough_region_cells
+            or work.fallback_used
+        )
+
+    def split_targets(self, trace: LegalizationTrace) -> Tuple[list, list]:
+        """Partition the trace's targets into (tough, easy) lists."""
+        tough = [t for t in trace.targets if self._is_tough(t)]
+        easy = [t for t in trace.targets if not self._is_tough(t)]
+        return tough, easy
+
+    # ------------------------------------------------------------------
+    def breakdown(self, trace: LegalizationTrace) -> CpuGpuBreakdown:
+        """Full runtime breakdown of the modeled CPU-GPU legalizer."""
+        p = self.params
+        per_target = self.cost_model.per_target_host_times(trace)
+        tough, easy = self.split_targets(trace)
+
+        out = CpuGpuBreakdown(n_tough_cells=len(tough), n_easy_cells=len(easy))
+        host = self.cost_model.breakdown(trace)
+        # Serial host work: pre-move, ordering, region extraction and the
+        # commit of every cell's final position.
+        out.serial_host = host.premove + host.ordering + host.region + host.update
+
+        # GPU side: easy-cell FOP work spread over the achievable
+        # region-level parallelism, at GPU-thread speed.
+        easy_fop = sum(per_target[t.cell_index]["fop"] for t in easy)
+        parallelism = min(p.max_parallel_regions, max(1, len(easy)))
+        out.gpu_compute = easy_fop * p.gpu_thread_slowdown / parallelism
+        out.n_batches = math.ceil(len(easy) / max(1, p.max_parallel_regions)) if easy else 0
+        # Each batch requires a full position synchronisation with the host
+        # before the next batch of non-overlapping regions can be formed.
+        out.gpu_sync = out.n_batches * p.batch_sync_seconds
+
+        # CPU side: tough cells processed serially on the host core.
+        tough_fop = sum(per_target[t.cell_index]["fop"] for t in tough)
+        out.cpu_tough = tough_fop * p.cpu_dispatch_overhead
+        return out
+
+    def runtime_seconds(self, trace: LegalizationTrace) -> float:
+        """Modeled end-to-end runtime of the CPU-GPU legalizer."""
+        return self.breakdown(trace).total
+
+    # ------------------------------------------------------------------
+    def achievable_parallelism(self, trace: LegalizationTrace) -> int:
+        """Maximum number of regions processed concurrently (Fig. 2(c))."""
+        _, easy = self.split_targets(trace)
+        return min(self.params.max_parallel_regions, max(1, len(easy)))

@@ -1,0 +1,95 @@
+"""Reporting helpers: speedup summaries and ASCII tables.
+
+The experiment harness prints its results as plain-text tables shaped
+like the paper's tables and figure series so that paper-vs-measured
+comparisons are easy to eyeball (and to paste into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.3f}",
+    min_width: int = 6,
+) -> str:
+    """Format a list of rows as an aligned ASCII table."""
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(v) for v in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in rendered:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+@dataclass
+class SpeedupReport:
+    """Per-design runtime and quality comparison against baselines.
+
+    ``runtimes`` maps a configuration label to modeled seconds;
+    ``qualities`` maps it to the measured average displacement.  The FLEX
+    entry is identified by ``ours_label``.
+    """
+
+    design: str
+    runtimes: Dict[str, float] = field(default_factory=dict)
+    qualities: Dict[str, float] = field(default_factory=dict)
+    ours_label: str = "flex"
+
+    def add(self, label: str, runtime_s: float, quality: Optional[float] = None) -> None:
+        self.runtimes[label] = runtime_s
+        if quality is not None:
+            self.qualities[label] = quality
+
+    def speedup_over(self, label: str) -> float:
+        """Speedup of the FLEX configuration over ``label``."""
+        ours = self.runtimes.get(self.ours_label)
+        other = self.runtimes.get(label)
+        if ours is None or other is None or ours <= 0:
+            return float("nan")
+        return other / ours
+
+    def quality_ratio_over(self, label: str) -> float:
+        """Quality ratio (other / ours); > 1 means FLEX has lower AveDis."""
+        ours = self.qualities.get(self.ours_label)
+        other = self.qualities.get(label)
+        if ours is None or other is None or ours <= 0:
+            return float("nan")
+        return other / ours
+
+    def row(self, baseline_labels: Sequence[str]) -> List[object]:
+        """One Table-1-style row: qualities, runtimes and speedups."""
+        row: List[object] = [self.design]
+        for label in list(baseline_labels) + [self.ours_label]:
+            row.append(self.qualities.get(label, float("nan")))
+            row.append(self.runtimes.get(label, float("nan")))
+        for label in baseline_labels:
+            row.append(self.speedup_over(label))
+        return row
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean ignoring NaNs and non-positive entries."""
+    import math
+
+    clean = [v for v in values if v > 0 and v == v]
+    if not clean:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in clean) / len(clean))

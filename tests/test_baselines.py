@@ -1,0 +1,152 @@
+"""Tests for the baseline legalizers (repro.baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AbacusLegalizer,
+    AnalyticalLegalizer,
+    CpuGpuBaseline,
+    GreedyLegalizer,
+    MultiThreadedMglBaseline,
+    region_batch_order,
+)
+from repro.baselines.analytical import AnalyticalGpuRuntimeModel
+from repro.legality import LegalityChecker
+from repro.mgl import MGLLegalizer
+
+from conftest import small_design
+
+
+def check_legal_for_placed(layout, failed):
+    """All placed cells must be mutually legal; failed cells are excluded."""
+    failed_set = set(failed)
+    checker = LegalityChecker(require_all_legalized=False)
+    for cell in layout.movable_cells():
+        if cell.index in failed_set:
+            cell.legalized = False
+    report = checker.check(layout)
+    assert report.legal, report.summary()
+
+
+class TestGreedy:
+    def test_legalizes_design(self, tiny_design):
+        result = GreedyLegalizer().legalize(tiny_design)
+        assert result.success
+        assert LegalityChecker().check(tiny_design).legal
+
+    def test_quality_worse_than_mgl(self):
+        a = small_design(num_cells=120, density=0.75, seed=61)
+        b = small_design(num_cells=120, density=0.75, seed=61)
+        greedy = GreedyLegalizer().legalize(a)
+        mgl = MGLLegalizer().legalize(b)
+        assert greedy.average_displacement >= mgl.average_displacement * 0.95
+
+    def test_trace_recorded(self, tiny_design):
+        result = GreedyLegalizer().legalize(tiny_design)
+        assert len(result.trace.targets) == len(tiny_design.movable_cells())
+
+    def test_dense_design_still_legal(self, dense_design):
+        result = GreedyLegalizer().legalize(dense_design)
+        check_legal_for_placed(dense_design, result.failed_cells)
+
+
+class TestAbacus:
+    def test_single_row_design(self):
+        layout = small_design(num_cells=90, density=0.6, seed=71, height_mix={1: 1.0})
+        result = AbacusLegalizer().legalize(layout)
+        check_legal_for_placed(layout, result.failed_cells)
+        assert len(result.failed_cells) <= 3
+        assert result.average_displacement < 5.0
+
+    def test_mixed_height_design(self):
+        layout = small_design(num_cells=80, density=0.55, seed=72)
+        result = AbacusLegalizer().legalize(layout)
+        check_legal_for_placed(layout, result.failed_cells)
+        # Most cells must be placed even with the greedy multi-row pre-pass.
+        assert len(result.failed_cells) <= 0.1 * len(layout.movable_cells())
+
+    def test_quality_on_sparse_single_rows(self):
+        layout = small_design(num_cells=60, density=0.4, seed=73, height_mix={1: 1.0})
+        result = AbacusLegalizer().legalize(layout)
+        assert result.average_displacement < 3.0
+
+
+class TestAnalytical:
+    def test_legalizes_design(self, tiny_design):
+        result = AnalyticalLegalizer().legalize(tiny_design)
+        check_legal_for_placed(tiny_design, result.failed_cells)
+        assert result.iterations >= 1
+        assert len(result.failed_cells) <= 0.05 * len(tiny_design.movable_cells())
+
+    def test_quality_worse_than_mgl_family(self):
+        a = small_design(num_cells=140, density=0.7, seed=81)
+        b = small_design(num_cells=140, density=0.7, seed=81)
+        ana = AnalyticalLegalizer().legalize(a)
+        mgl = MGLLegalizer().legalize(b)
+        assert ana.average_displacement >= mgl.average_displacement * 0.9
+
+    def test_iterations_bounded(self, tiny_design):
+        result = AnalyticalLegalizer(max_iterations=50).legalize(tiny_design)
+        assert result.iterations <= 50
+
+    def test_gpu_runtime_model_scales(self):
+        model = AnalyticalGpuRuntimeModel()
+        assert model.runtime_seconds(100_000, 400) > model.runtime_seconds(30_000, 400)
+        assert model.runtime_seconds(30_000, 400) > model.runtime_seconds(30_000, 100)
+
+    def test_gpu_runtime_full_scale_in_paper_range(self):
+        # At published design sizes the modeled runtime must land in the
+        # 0.3 - 25 s range of Table 1's ISPD'25 column.
+        model = AnalyticalGpuRuntimeModel()
+        assert 0.3 < model.runtime_seconds(30_625, 300) < 25.0
+        assert 0.3 < model.runtime_seconds(127_413, 400) < 25.0
+
+
+class TestMultiThreadBaseline:
+    def test_runs_and_models(self, tiny_design):
+        result = MultiThreadedMglBaseline().legalize(tiny_design)
+        assert LegalityChecker().check(tiny_design).legal
+        assert result.modeled_runtime_seconds < result.single_thread_seconds
+        assert result.modeled_runtime_seconds == pytest.approx(
+            result.single_thread_seconds / 1.8, rel=0.01
+        )
+
+    def test_scaling_curve_matches_fig2a(self, tiny_design):
+        result = MultiThreadedMglBaseline().legalize(tiny_design)
+        curve = result.scaling_curve
+        assert curve[1] / curve[2] == pytest.approx(1.25, rel=0.01)
+        assert curve[1] / curve[8] == pytest.approx(1.80, rel=0.01)
+        assert curve[8] <= curve[4]
+
+
+class TestCpuGpuBaseline:
+    def test_region_batch_order_is_permutation(self, tiny_design):
+        cells = tiny_design.unlegalized_cells()
+        order = region_batch_order(tiny_design, cells)
+        assert sorted(c.index for c in order) == sorted(c.index for c in cells)
+
+    def test_region_batch_order_deviates_from_size_order(self):
+        layout = small_design(num_cells=150, density=0.7, seed=91)
+        cells = layout.movable_cells()
+        by_size = sorted(cells, key=lambda c: (-c.area, -c.height, -c.width, c.index))
+        batched = region_batch_order(layout, cells)
+        assert [c.index for c in batched] != [c.index for c in by_size]
+
+    def test_runs_and_models(self, tiny_design):
+        result = CpuGpuBaseline().legalize(tiny_design)
+        assert LegalityChecker().check(tiny_design).legal
+        assert result.modeled_runtime_seconds > 0
+        assert result.breakdown.n_tough_cells + result.breakdown.n_easy_cells == len(
+            tiny_design.movable_cells()
+        )
+
+    def test_quality_not_better_than_mgl(self):
+        a = small_design(num_cells=150, density=0.75, seed=92)
+        b = small_design(num_cells=150, density=0.75, seed=92)
+        gpu = CpuGpuBaseline().legalize(a)
+        mgl = MGLLegalizer().legalize(b)
+        # The perturbed processing order must not beat the sequential
+        # size-descending order by a meaningful margin.
+        assert gpu.average_displacement >= mgl.average_displacement * 0.98

@@ -1,0 +1,196 @@
+"""Tests for benchmark generation (repro.benchgen) and design I/O."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.benchgen import DesignSpec, generate_design, iccad2017_design, iccad2017_suite
+from repro.benchgen.generator import describe_design
+from repro.benchgen.iccad2017 import (
+    ICCAD2017_BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+    iccad2017_spec,
+)
+from repro.designio import (
+    layout_from_dict,
+    layout_to_dict,
+    load_cells,
+    load_layout_json,
+    save_cells,
+    save_layout_json,
+)
+from repro.legality import LegalityChecker
+
+
+class TestDesignSpec:
+    def test_height_mix_normalised(self):
+        spec = DesignSpec(name="d", num_cells=10, density=0.5, height_mix={1: 2.0, 2: 2.0})
+        assert spec.height_mix == {1: 0.5, 2: 0.5}
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            DesignSpec(name="d", num_cells=10, density=1.2)
+
+    def test_invalid_cells(self):
+        with pytest.raises(ValueError):
+            DesignSpec(name="d", num_cells=0, density=0.5)
+
+    def test_scaled_preserves_density(self):
+        spec = DesignSpec(name="d", num_cells=1000, density=0.6)
+        scaled = spec.scaled(0.1)
+        assert scaled.num_cells == 100
+        assert scaled.density == spec.density
+        assert scaled.height_mix == spec.height_mix
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            DesignSpec(name="d", num_cells=10, density=0.5).scaled(0.0)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = DesignSpec(name="d", num_cells=60, density=0.5, seed=4)
+        a = generate_design(spec)
+        b = generate_design(spec)
+        assert [(c.gp_x, c.gp_y, c.width, c.height) for c in a.cells] == [
+            (c.gp_x, c.gp_y, c.width, c.height) for c in b.cells
+        ]
+
+    def test_seed_changes_design(self):
+        a = generate_design(DesignSpec(name="d", num_cells=60, density=0.5, seed=1))
+        b = generate_design(DesignSpec(name="d", num_cells=60, density=0.5, seed=2))
+        assert [(c.gp_x, c.gp_y) for c in a.cells] != [(c.gp_x, c.gp_y) for c in b.cells]
+
+    def test_cell_count(self):
+        layout = generate_design(DesignSpec(name="d", num_cells=75, density=0.5, seed=0))
+        assert len(layout.movable_cells()) == 75
+
+    def test_density_close_to_target(self):
+        for target in (0.3, 0.6, 0.85):
+            layout = generate_design(DesignSpec(name="d", num_cells=300, density=target, seed=3))
+            assert layout.density() == pytest.approx(target, rel=0.25)
+
+    def test_cells_inside_chip(self):
+        layout = generate_design(DesignSpec(name="d", num_cells=150, density=0.7, seed=5))
+        for cell in layout.cells:
+            assert -1e-9 <= cell.gp_x <= layout.width - cell.width + 1e-9
+            assert -1e-9 <= cell.gp_y <= layout.height - cell.height + 1e-9
+
+    def test_height_mix_respected(self):
+        spec = DesignSpec(
+            name="d", num_cells=400, density=0.5, seed=6, height_mix={1: 0.5, 2: 0.3, 4: 0.2}
+        )
+        layout = generate_design(spec)
+        hist = layout.height_histogram()
+        assert set(hist) <= {1, 2, 4}
+        assert hist[1] / 400 == pytest.approx(0.5, abs=0.1)
+
+    def test_no_cells_marked_legal(self):
+        layout = generate_design(DesignSpec(name="d", num_cells=50, density=0.5, seed=7))
+        assert all(not c.legalized for c in layout.movable_cells())
+
+    def test_blockages_generated(self):
+        spec = DesignSpec(
+            name="d", num_cells=100, density=0.4, seed=8, fixed_blockage_fraction=0.05
+        )
+        layout = generate_design(spec)
+        assert len(layout.fixed_cells()) >= 1
+
+    def test_rows_even(self):
+        layout = generate_design(DesignSpec(name="d", num_cells=90, density=0.5, seed=9))
+        assert layout.num_rows % 2 == 0
+
+    def test_describe_design(self):
+        layout = generate_design(DesignSpec(name="d", num_cells=80, density=0.5, seed=10))
+        desc = describe_design(layout)
+        assert desc["num_cells"] == 80
+        assert 0.0 <= desc["multi_row_fraction"] <= 1.0
+
+    def test_perturbation_creates_overlaps_but_stays_local(self):
+        layout = generate_design(DesignSpec(name="d", num_cells=200, density=0.7, seed=11))
+        total_overlap = 0.0
+        cells = layout.movable_cells()
+        for i, a in enumerate(cells[:50]):
+            for b in cells[i + 1 : 50]:
+                total_overlap += a.overlap_area(b)
+        assert total_overlap > 0.0  # the GP input genuinely needs legalization
+
+
+class TestIccad2017Suite:
+    def test_sixteen_benchmarks(self):
+        assert len(ICCAD2017_BENCHMARKS) == 16
+        assert len(benchmark_names()) == 16
+
+    def test_lookup(self):
+        info = get_benchmark("des_perf_1")
+        assert info.cell_count == 112644
+        assert info.density == pytest.approx(0.906)
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+    def test_spec_scaling(self):
+        spec = iccad2017_spec("fft_a_md2", scale=0.01)
+        assert spec.num_cells == round(30625 * 0.01)
+
+    def test_md1_designs_have_no_tall_cells(self):
+        for name in ("des_perf_1", "des_perf_a_md1", "des_perf_b_md1"):
+            assert get_benchmark(name).tall_fraction() == 0.0
+
+    def test_pci_b_a_md2_has_most_tall_cells(self):
+        fractions = {b.name: b.tall_fraction() for b in ICCAD2017_BENCHMARKS}
+        assert max(fractions, key=fractions.get) == "pci_b_a_md2"
+
+    def test_design_generation(self):
+        layout = iccad2017_design("pci_b_b_md2", scale=0.002)
+        assert layout.name == "pci_b_b_md2"
+        assert len(layout.movable_cells()) == round(28914 * 0.002)
+
+    def test_generation_deterministic_by_name(self):
+        a = iccad2017_design("fft_2_md2", scale=0.002)
+        b = iccad2017_design("fft_2_md2", scale=0.002)
+        assert [(c.gp_x, c.gp_y) for c in a.cells] == [(c.gp_x, c.gp_y) for c in b.cells]
+
+    def test_suite_subset(self):
+        pairs = list(iccad2017_suite(scale=0.001, names=["fft_a_md2", "fft_a_md3"]))
+        assert [info.name for info, _ in pairs] == ["fft_a_md2", "fft_a_md3"]
+        for info, layout in pairs:
+            assert layout.name == info.name
+
+
+class TestDesignIO:
+    def test_cells_roundtrip(self, tmp_path, tiny_design):
+        path = tmp_path / "design.cells"
+        save_cells(tiny_design, path)
+        loaded = load_cells(path)
+        assert len(loaded.cells) == len(tiny_design.cells)
+        assert loaded.num_rows == tiny_design.num_rows
+        for a, b in zip(loaded.cells, tiny_design.cells):
+            assert (a.width, a.height) == (b.width, b.height)
+            assert a.gp_x == pytest.approx(b.gp_x, abs=1e-5)
+
+    def test_cells_bad_header(self, tmp_path):
+        path = tmp_path / "bad.cells"
+        path.write_text("nonsense\n")
+        with pytest.raises(ValueError):
+            load_cells(path)
+
+    def test_json_roundtrip(self, tmp_path, simple_layout):
+        path = tmp_path / "design.json"
+        save_layout_json(simple_layout, path)
+        loaded = load_layout_json(path)
+        assert len(loaded.cells) == len(simple_layout.cells)
+        assert loaded.cells[1].height == simple_layout.cells[1].height
+        assert loaded.cells[1].legalized == simple_layout.cells[1].legalized
+
+    def test_dict_roundtrip_preserves_flags(self, simple_layout):
+        simple_layout.cells[0].fixed = False
+        data = layout_to_dict(simple_layout)
+        loaded = layout_from_dict(data)
+        assert loaded.cells[0].legalized
+        report = LegalityChecker().check(loaded)
+        assert report.legal

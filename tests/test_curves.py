@@ -1,0 +1,227 @@
+"""Tests for the displacement-curve math (repro.mgl.curves)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mgl.curves import (
+    BreakpointPiece,
+    evaluate_piecewise,
+    left_shift_curve,
+    merge_breakpoints,
+    minimize_curves,
+    minimize_curves_fwd_bwd,
+    right_shift_curve,
+    sort_breakpoints,
+    sum_slopes_left,
+    sum_slopes_right,
+    target_curve,
+)
+
+
+def brute_force_min(pieces, constant, lo, hi, samples=2001):
+    """Reference minimizer: dense sampling plus all breakpoints."""
+    xs = [lo + (hi - lo) * i / (samples - 1) for i in range(samples)] if hi > lo else [lo]
+    xs += [p.x for p in pieces if lo <= p.x <= hi]
+    best_x, best_v = None, math.inf
+    for x in xs:
+        v = evaluate_piecewise(pieces, constant, x)
+        if v < best_v - 1e-12:
+            best_x, best_v = x, v
+    return best_x, best_v
+
+
+class TestPieces:
+    def test_v_piece(self):
+        v = BreakpointPiece(3.0, -1.0, 1.0)
+        assert v.value(3.0) == 0.0
+        assert v.value(1.0) == 2.0
+        assert v.value(6.0) == 3.0
+
+    def test_hinge_piece(self):
+        h = BreakpointPiece(5.0, -1.0, 0.0)
+        assert h.value(2.0) == 3.0
+        assert h.value(7.0) == 0.0
+
+    def test_evaluate_piecewise(self):
+        pieces = [BreakpointPiece(0.0, -1.0, 1.0), BreakpointPiece(4.0, 0.0, 2.0)]
+        assert evaluate_piecewise(pieces, 1.0, 6.0) == pytest.approx(1.0 + 6.0 + 4.0)
+
+
+class TestStages:
+    def test_sort(self):
+        pieces = [BreakpointPiece(3, 0, 0), BreakpointPiece(1, 0, 0), BreakpointPiece(2, 0, 0)]
+        assert [p.x for p in sort_breakpoints(pieces)] == [1, 2, 3]
+
+    def test_merge_accumulates_slopes(self):
+        pieces = sort_breakpoints(
+            [BreakpointPiece(2.0, -1.0, 1.0), BreakpointPiece(2.0, -1.0, 0.0), BreakpointPiece(5.0, 0.0, 1.0)]
+        )
+        merged = merge_breakpoints(pieces)
+        assert len(merged) == 2
+        assert merged[0].left_slope == -2.0
+        assert merged[0].right_slope == 1.0
+
+    def test_sum_slopes_right(self):
+        merged = [BreakpointPiece(0, -1, 1), BreakpointPiece(2, 0, 2), BreakpointPiece(4, -1, 1)]
+        assert sum_slopes_right(merged) == [1, 3, 4]
+
+    def test_sum_slopes_left(self):
+        merged = [BreakpointPiece(0, -1, 1), BreakpointPiece(2, 0, 2), BreakpointPiece(4, -1, 1)]
+        assert sum_slopes_left(merged) == [-2, -1, -1]
+
+
+class TestMinimize:
+    def test_single_v(self):
+        pieces, const = target_curve(5.0, 0.0)
+        result = minimize_curves(pieces, const, 0.0, 10.0)
+        assert result.best_x == pytest.approx(5.0)
+        assert result.best_value == pytest.approx(0.0)
+
+    def test_v_with_vertical_cost(self):
+        pieces, const = target_curve(5.0, 7.0)
+        result = minimize_curves(pieces, const, 0.0, 10.0)
+        assert result.best_value == pytest.approx(7.0)
+
+    def test_clamped_to_bounds(self):
+        pieces, const = target_curve(20.0, 0.0)
+        result = minimize_curves(pieces, const, 0.0, 10.0)
+        assert result.best_x == pytest.approx(10.0)
+        assert result.best_value == pytest.approx(10.0)
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            minimize_curves([BreakpointPiece(0, -1, 1)], 0.0, 5.0, 3.0)
+
+    def test_no_pieces(self):
+        result = minimize_curves([], 2.5, 0.0, 4.0)
+        assert result.best_value == pytest.approx(2.5)
+        assert 0.0 <= result.best_x <= 4.0
+
+    def test_tie_break_prefers_preferred_x(self):
+        # Flat region between two Vs: prefer the point nearest preferred_x.
+        pieces = [BreakpointPiece(0.0, -1.0, 1.0), BreakpointPiece(10.0, -1.0, 1.0)]
+        # Summed curve is flat-bottomed? No: sum of two Vs is V-shaped with a
+        # flat segment of slope 0 between them.
+        result = minimize_curves(pieces, 0.0, -5.0, 15.0, preferred_x=7.0)
+        assert result.best_x == pytest.approx(7.0)
+
+    def test_counts(self):
+        pieces = [BreakpointPiece(1.0, -1, 1), BreakpointPiece(1.0, -1, 0), BreakpointPiece(3.0, 0, 1)]
+        result = minimize_curves(pieces, 0.0, 0.0, 5.0)
+        assert result.n_breakpoints == 3
+        assert result.n_merged == 2
+
+    def test_nonconvex_sum(self):
+        # A non-convex combination (as produced by cells currently displaced
+        # from their GP position) still gets minimised correctly.
+        pieces, const = left_shift_curve(threshold=6.0, current_x=8.0, gp_x=4.0)
+        tgt_pieces, tgt_const = target_curve(9.0, 0.0)
+        all_pieces = list(pieces) + tgt_pieces
+        total_const = const + tgt_const
+        ref_x, ref_v = brute_force_min(all_pieces, total_const, 0.0, 12.0)
+        res = minimize_curves(all_pieces, total_const, 0.0, 12.0)
+        assert res.best_value == pytest.approx(ref_v, abs=1e-6)
+
+
+class TestFwdBwdEquivalence:
+    def test_simple_equivalence(self):
+        pieces = [
+            BreakpointPiece(2.0, -1.0, 1.0),
+            BreakpointPiece(5.0, -1.0, 0.0),
+            BreakpointPiece(7.0, 0.0, 2.0),
+        ]
+        a = minimize_curves(pieces, 1.0, 0.0, 10.0, preferred_x=4.0)
+        b = minimize_curves_fwd_bwd(pieces, 1.0, 0.0, 10.0, preferred_x=4.0)
+        assert a.best_x == pytest.approx(b.best_x)
+        assert a.best_value == pytest.approx(b.best_value)
+        assert a.n_merged == b.n_merged
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-20, 20),
+                st.sampled_from([(-1.0, 1.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0), (1.0, 0.0), (-2.0, 3.0)]),
+            ),
+            min_size=1,
+            max_size=14,
+        ),
+        st.floats(-5, 5),
+        st.floats(-25, 0),
+        st.floats(0.5, 25),
+    )
+    def test_pipelines_agree_and_match_brute_force(self, spec, constant, lo, span):
+        hi = lo + span
+        pieces = [BreakpointPiece(x, ls, rs) for x, (ls, rs) in spec]
+        a = minimize_curves(pieces, constant, lo, hi)
+        b = minimize_curves_fwd_bwd(pieces, constant, lo, hi)
+        assert a.best_value == pytest.approx(b.best_value, abs=1e-6)
+        _, ref_v = brute_force_min(pieces, constant, lo, hi)
+        # The evaluated optimum can only be at least as good as the sampled
+        # reference (up to sampling resolution) and never better than the
+        # true minimum at its own x.
+        assert a.best_value <= ref_v + 1e-6
+        assert evaluate_piecewise(pieces, constant, a.best_x) == pytest.approx(a.best_value, abs=1e-6)
+
+
+class TestShiftCurveBuilders:
+    def test_left_shift_curve_not_displaced(self):
+        pieces, const = left_shift_curve(threshold=6.0, current_x=3.0, gp_x=3.0)
+        # delta = 0: change is max(0, b - xt) relative to staying put.
+        assert evaluate_piecewise(pieces, const, 8.0) == pytest.approx(0.0)
+        assert evaluate_piecewise(pieces, const, 4.0) == pytest.approx(2.0)
+
+    def test_left_shift_curve_cell_right_of_gp(self):
+        # Cell sits 2 sites right of its GP spot; pushing it left first
+        # reduces the displacement change (negative), then increases it.
+        pieces, const = left_shift_curve(threshold=6.0, current_x=5.0, gp_x=3.0)
+        assert evaluate_piecewise(pieces, const, 7.0) == pytest.approx(0.0)
+        assert evaluate_piecewise(pieces, const, 4.0) == pytest.approx(-2.0)
+        assert evaluate_piecewise(pieces, const, 2.0) == pytest.approx(0.0)
+        assert evaluate_piecewise(pieces, const, 1.0) == pytest.approx(1.0)
+
+    def test_left_shift_curve_cell_left_of_gp(self):
+        pieces, const = left_shift_curve(threshold=6.0, current_x=2.0, gp_x=4.0)
+        assert evaluate_piecewise(pieces, const, 7.0) == pytest.approx(0.0)
+        assert evaluate_piecewise(pieces, const, 5.0) == pytest.approx(1.0)
+
+    def test_right_shift_curve_not_displaced(self):
+        pieces, const = right_shift_curve(threshold=10.0, target_width=3.0, current_x=10.0, gp_x=10.0)
+        assert evaluate_piecewise(pieces, const, 6.0) == pytest.approx(0.0)
+        assert evaluate_piecewise(pieces, const, 9.0) == pytest.approx(2.0)
+
+    def test_right_shift_curve_cell_left_of_gp(self):
+        pieces, const = right_shift_curve(threshold=10.0, target_width=3.0, current_x=10.0, gp_x=12.0)
+        # Pushing right by up to 2 sites reduces the displacement change.
+        assert evaluate_piecewise(pieces, const, 8.0) == pytest.approx(-1.0)
+        assert evaluate_piecewise(pieces, const, 9.0) == pytest.approx(-2.0)
+        assert evaluate_piecewise(pieces, const, 11.0) == pytest.approx(0.0)
+
+    def test_right_shift_curve_cell_right_of_gp(self):
+        pieces, const = right_shift_curve(threshold=10.0, target_width=3.0, current_x=10.0, gp_x=7.0)
+        assert evaluate_piecewise(pieces, const, 6.0) == pytest.approx(0.0)
+        assert evaluate_piecewise(pieces, const, 9.0) == pytest.approx(2.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.floats(0, 30), st.floats(0, 30), st.floats(0, 30), st.floats(-20, 40)
+    )
+    def test_left_shift_change_matches_direct_formula(self, threshold, current_x, gp_x, xt):
+        pieces, const = left_shift_curve(threshold, current_x, gp_x)
+        new_x = current_x - max(0.0, threshold - xt)
+        expected_change = abs(new_x - gp_x) - abs(current_x - gp_x)
+        assert evaluate_piecewise(pieces, const, xt) == pytest.approx(expected_change, abs=1e-9)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.floats(0, 30), st.floats(1, 8), st.floats(0, 30), st.floats(0, 30), st.floats(-20, 40)
+    )
+    def test_right_shift_change_matches_direct_formula(self, threshold, width, current_x, gp_x, xt):
+        pieces, const = right_shift_curve(threshold, width, current_x, gp_x)
+        new_x = current_x + max(0.0, (xt + width) - threshold)
+        expected_change = abs(new_x - gp_x) - abs(current_x - gp_x)
+        assert evaluate_piecewise(pieces, const, xt) == pytest.approx(expected_change, abs=1e-9)

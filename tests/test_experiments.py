@@ -1,0 +1,152 @@
+"""Tests for the experiment harness (small scales, a few benchmarks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    paper_data,
+    run_fig2_parallelism,
+    run_fig2_scaling,
+    run_fig2_shift_share,
+    run_fig6_sorting_share,
+    run_fig8_ladder,
+    run_fig9_sacs,
+    run_fig10_task_assignment,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.common import run_design
+from repro.experiments.runner import format_report, run_all
+
+SCALE = 0.0015
+SEED = 7
+NAMES = ["fft_a_md2", "pci_b_a_md2"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_cache():
+    """Run the shared designs once so the individual tests stay fast."""
+    for name in NAMES:
+        run_design(name, scale=SCALE, seed=SEED)
+    yield
+
+
+class TestPaperData:
+    def test_table1_complete(self):
+        assert len(paper_data.TABLE1) == 16
+        row = paper_data.TABLE1["des_perf_1"]
+        assert row.cells == 112644
+        assert row.acc_d == 2.6
+
+    def test_average_row_consistent(self):
+        avg = paper_data.TABLE1_AVERAGE
+        times = [r.flex_time for r in paper_data.TABLE1.values()]
+        assert sum(times) / len(times) == pytest.approx(avg["flex_time"], abs=0.01)
+
+    def test_table2_keys(self):
+        assert set(paper_data.TABLE2) == {
+            "No parallelism of FOP PE", "2 parallelism of FOP PE", "Available",
+        }
+
+
+class TestTable1:
+    def test_rows_and_headers(self):
+        result = run_table1(NAMES, scale=SCALE, seed=SEED)
+        assert len(result.rows) == len(NAMES) + 2  # + Average + Ratio
+        assert result.headers[0] == "benchmark"
+        assert "Acc(T)" in result.headers
+
+    def test_flex_is_fastest(self):
+        result = run_table1(NAMES, scale=SCALE, seed=SEED)
+        for row in result.rows[: len(NAMES)]:
+            acc_t = row[result.headers.index("Acc(T)")]
+            acc_d = row[result.headers.index("Acc(D)")]
+            assert acc_t > 1.0
+            assert acc_d > 1.0
+
+    def test_quality_ratio_close_to_one(self):
+        result = run_table1(NAMES, scale=SCALE, seed=SEED)
+        ratio_row = result.rows[-1]
+        mgl_ratio = ratio_row[result.headers.index("mgl_avedis")]
+        assert 0.9 <= mgl_ratio <= 1.2
+
+    def test_all_runs_legal(self):
+        result = run_table1(NAMES, scale=SCALE, seed=SEED)
+        for bundle in result.extras["bundles"]:
+            assert all(bundle.legal.values()), bundle.legal
+
+    def test_format_output(self):
+        text = run_table1(NAMES, scale=SCALE, seed=SEED).format()
+        assert "Table 1" in text and "Average" in text
+
+
+class TestTable2:
+    def test_matches_paper_exactly(self):
+        result = run_table2()
+        one = result.rows[0]
+        assert one[1:5] == [59837, 67326, 391, 8]
+        two = result.rows[1]
+        assert two[1:5] == [86632, 91603, 738, 12]
+
+    def test_extras(self):
+        result = run_table2()
+        assert result.extras["max_pe_count"] >= 2
+
+
+class TestFigures:
+    def test_fig2a_saturation(self):
+        result = run_fig2_scaling(NAMES[0], scale=SCALE, seed=SEED)
+        speedups = result.column("speedup")
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[-1] <= 1.9  # saturates around 1.8x
+        times = result.column("time_s")
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_fig2bc_parallelism_below_cores(self):
+        result = run_fig2_parallelism(NAMES, scale=SCALE, seed=SEED)
+        for row in result.rows:
+            assert row[2] <= row[1]  # parallel regions <= CUDA cores
+            assert row[3] < 1.0
+
+    def test_fig2g_shift_share(self):
+        result = run_fig2_shift_share(NAMES, scale=SCALE, seed=SEED)
+        for row in result.rows:
+            assert row[1] > 0.5  # cell shifting dominates FOP
+
+    def test_fig6g_sorting_share(self):
+        result = run_fig6_sorting_share(NAMES, scale=SCALE, seed=SEED)
+        for row in result.rows:
+            assert 0.0 < row[2] < 0.35  # sorting is a modest share of FOP
+
+    def test_fig8_ladder_ranges(self):
+        result = run_fig8_ladder(NAMES, scale=SCALE, seed=SEED)
+        for row in result.rows:
+            _, normal, sacs, mg, two_pe, gain = row
+            assert normal == pytest.approx(1.0)
+            assert 1.5 <= sacs <= 3.6
+            assert sacs < mg < two_pe
+            assert 1.5 <= gain <= 2.0
+
+    def test_fig9_bandwidth_gain_tracks_tall_cells(self):
+        result = run_fig9_sacs(["des_perf_b_md1", "pci_b_a_md2"], scale=SCALE, seed=SEED)
+        by_name = {row[0]: row for row in result.rows}
+        md1 = by_name["des_perf_b_md1"]
+        tall = by_name["pci_b_a_md2"]
+        assert md1[1] == pytest.approx(0.0, abs=0.02)  # no >3-row cells
+        assert tall[1] > md1[1]
+        # The bandwidth-optimisation gain must be larger on the tall design.
+        assert tall[6] > md1[6]
+        for row in result.rows:
+            assert 1.3 <= row[5] <= 3.6  # total SACS-Paral speedup
+
+    def test_fig10_average_speedup(self):
+        result = run_fig10_task_assignment(NAMES, scale=SCALE, seed=SEED)
+        average = result.extras["average_speedup"]
+        assert 1.0 < average < 1.8
+
+    def test_runner_quick(self):
+        results = run_all(scale=SCALE, seed=SEED, table1_names=NAMES, figure_names=NAMES)
+        assert set(results) >= {"table1", "table2", "fig8", "fig9", "fig10"}
+        report = format_report(results)
+        assert "Table 1" in report and "Fig. 10" in report

@@ -1,0 +1,165 @@
+"""Tests for repro.legality: checker and displacement metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Cell, Layout
+from repro.legality import LegalityChecker, PlacementMetrics, ViolationKind
+
+from conftest import make_layout
+
+
+def _legal_pair() -> Layout:
+    return make_layout(4, 20, [(0.0, 0.0, 4.0, 2), (6.0, 0.0, 4.0, 1)])
+
+
+class TestLegalityChecker:
+    def test_legal_layout(self):
+        report = LegalityChecker().check(_legal_pair())
+        assert report.legal
+        assert report.cells_checked == 2
+        assert "legal" in report.summary()
+
+    def test_overlap_detected(self):
+        layout = make_layout(4, 20, [(0.0, 0.0, 6.0, 1), (4.0, 0.0, 4.0, 1)])
+        report = LegalityChecker().check(layout)
+        assert not report.legal
+        assert report.count(ViolationKind.OVERLAP) == 1
+
+    def test_overlap_reported_once_for_multirow_pair(self):
+        layout = make_layout(4, 20, [(0.0, 0.0, 6.0, 3), (4.0, 0.0, 4.0, 3)])
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.OVERLAP) == 1
+
+    def test_out_of_bounds(self):
+        layout = make_layout(4, 20, [(18.0, 0.0, 4.0, 1)])
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_out_of_bounds_vertical(self):
+        layout = make_layout(4, 20, [(0.0, 3.0, 2.0, 2)])
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_off_site(self):
+        layout = make_layout(4, 20, [(1.5, 0.0, 2.0, 1)])
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.OFF_SITE) == 1
+
+    def test_off_row(self):
+        layout = make_layout(4, 20, [(1.0, 0.5, 2.0, 1)])
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.OFF_ROW) == 1
+
+    def test_pg_misalignment(self):
+        layout = make_layout(6, 20, [(0.0, 1.0, 2.0, 2)])
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.PG_MISALIGNED) == 1
+
+    def test_pg_alignment_ok_on_even_row(self):
+        layout = make_layout(6, 20, [(0.0, 2.0, 2.0, 2)])
+        assert LegalityChecker().check(layout).legal
+
+    def test_unlegalized_cells_flagged(self):
+        layout = Layout(4, 20)
+        layout.add_cell(Cell(index=0, width=2, height=1, gp_x=0, gp_y=0))
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.NOT_LEGALIZED) == 1
+
+    def test_unlegalized_ignored_when_relaxed(self):
+        layout = Layout(4, 20)
+        layout.add_cell(Cell(index=0, width=2, height=1, gp_x=0, gp_y=0))
+        report = LegalityChecker(require_all_legalized=False).check(layout)
+        assert report.legal
+
+    def test_fixed_cells_only_checked_for_bounds(self):
+        layout = Layout(4, 20)
+        layout.add_cell(
+            Cell(index=0, width=2.5, height=1, gp_x=1.3, gp_y=0.2, x=1.3, y=0.2, fixed=True)
+        )
+        assert LegalityChecker().check(layout).legal
+
+    def test_total_overlap_area(self):
+        layout = make_layout(4, 20, [(0.0, 0.0, 6.0, 2), (4.0, 0.0, 4.0, 1)])
+        assert LegalityChecker().total_overlap_area(layout) == pytest.approx(2.0)
+
+    def test_total_overlap_area_zero_when_legal(self):
+        assert LegalityChecker().total_overlap_area(_legal_pair()) == 0.0
+
+    def test_violation_string(self):
+        layout = make_layout(4, 20, [(0.0, 0.0, 6.0, 1), (4.0, 0.0, 4.0, 1)])
+        report = LegalityChecker().check(layout)
+        assert "overlap" in str(report.violations[0])
+
+
+class TestPlacementMetrics:
+    def test_zero_displacement(self):
+        metrics = PlacementMetrics()
+        stats = metrics.compute(_legal_pair())
+        assert stats.average_displacement == 0.0
+        assert stats.max_displacement == 0.0
+        assert stats.num_cells == 2
+
+    def test_cell_displacement_units(self):
+        metrics = PlacementMetrics(site_width_units=0.1)
+        cell = Cell(index=0, width=2, height=1, gp_x=0.0, gp_y=0.0)
+        cell.move_to(10.0, 2.0)
+        assert metrics.cell_displacement(cell) == pytest.approx(3.0)
+
+    def test_average_displacement_is_height_averaged(self):
+        # Two height classes: the single-row cell moved 2 rows worth, the
+        # double-row cell not at all -> S_am = (2 + 0) / 2 = 1.
+        layout = make_layout(6, 30, [(0.0, 0.0, 2.0, 1), (10.0, 0.0, 3.0, 2)])
+        layout.cells[0].y = 2.0
+        metrics = PlacementMetrics(site_width_units=0.1)
+        stats = metrics.compute(layout)
+        assert stats.per_height[1] == pytest.approx(2.0)
+        assert stats.per_height[2] == pytest.approx(0.0)
+        assert stats.average_displacement == pytest.approx(1.0)
+        assert stats.mean_displacement == pytest.approx(1.0)
+
+    def test_average_skips_missing_height_classes(self):
+        layout = make_layout(8, 30, [(0.0, 0.0, 2.0, 1), (10.0, 0.0, 3.0, 4)])
+        layout.cells[0].x += 10.0
+        metrics = PlacementMetrics(site_width_units=0.1)
+        stats = metrics.compute(layout)
+        # Heights 2 and 3 have no cells and must not dilute the average.
+        assert set(stats.per_height) == {1, 4}
+        assert stats.average_displacement == pytest.approx((1.0 + 0.0) / 2)
+
+    def test_max_and_total(self):
+        layout = make_layout(6, 30, [(0.0, 0.0, 2.0, 1), (10.0, 0.0, 2.0, 1)])
+        layout.cells[0].x += 5.0
+        layout.cells[1].x += 15.0
+        metrics = PlacementMetrics(site_width_units=1.0)
+        stats = metrics.compute(layout)
+        assert stats.max_displacement == pytest.approx(15.0)
+        assert stats.total_displacement == pytest.approx(20.0)
+
+    def test_empty_layout(self):
+        metrics = PlacementMetrics()
+        stats = metrics.compute(Layout(4, 10))
+        assert stats.num_cells == 0
+        assert stats.average_displacement == 0.0
+
+    def test_fixed_cells_excluded(self):
+        layout = Layout(4, 20)
+        layout.add_cell(Cell(index=0, width=2, height=1, gp_x=0, gp_y=0, x=5, y=0, fixed=True))
+        layout.add_cell(Cell(index=1, width=2, height=1, gp_x=0, gp_y=0, x=0, y=0, legalized=True))
+        stats = PlacementMetrics().compute(layout)
+        assert stats.num_cells == 1
+        assert stats.total_displacement == 0.0
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            PlacementMetrics(site_width_units=0.0)
+
+    def test_as_dict_and_compare(self):
+        metrics = PlacementMetrics()
+        layout = _legal_pair()
+        stats = metrics.compute(layout)
+        d = stats.as_dict()
+        assert d["num_cells"] == 2.0
+        table = metrics.compare([layout], labels=["demo"])
+        assert "demo" in table and "AveDis" in table

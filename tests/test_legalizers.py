@@ -1,0 +1,174 @@
+"""End-to-end tests of the MGL and FLEX legalizers and the orderings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FlexConfig, FlexLegalizer, SlidingWindowOrdering
+from repro.core.ordering import DensityGrid
+from repro.core.pipeline import PipelineOrganization
+from repro.core.sacs import SortAheadShifter
+from repro.legality import LegalityChecker, PlacementMetrics
+from repro.mgl import MGLLegalizer
+from repro.mgl.fop import FOPConfig
+from repro.mgl.legalizer import size_descending_order
+
+from conftest import small_design
+
+
+class TestMGLLegalizer:
+    def test_legalizes_small_design(self, tiny_design):
+        result = MGLLegalizer().legalize(tiny_design)
+        assert result.success
+        report = LegalityChecker().check(tiny_design)
+        assert report.legal, report.summary()
+
+    def test_legalizes_dense_design(self, dense_design):
+        result = MGLLegalizer().legalize(dense_design)
+        report = LegalityChecker().check(dense_design)
+        assert report.legal, report.summary()
+        assert result.success
+
+    def test_displacement_reasonable(self, tiny_design):
+        result = MGLLegalizer().legalize(tiny_design)
+        # The perturbation is ~1 row + a few sites, so the average
+        # displacement must land in the same ballpark, not explode.
+        assert 0.0 < result.average_displacement < 5.0
+
+    def test_trace_records_every_target(self, tiny_design):
+        result = MGLLegalizer().legalize(tiny_design)
+        movable = len(tiny_design.movable_cells())
+        assert len(result.trace.targets) == movable
+        assert result.trace.premove_cells == movable
+        assert result.trace.total_insertion_points > movable
+        assert result.trace.shift_algorithm == "original"
+
+    def test_multirow_cells_pg_aligned(self, tiny_design):
+        MGLLegalizer().legalize(tiny_design)
+        for cell in tiny_design.movable_cells():
+            if cell.height % 2 == 0:
+                assert int(round(cell.y)) % 2 == 0
+
+    def test_sacs_configuration_gives_same_quality_class(self):
+        layout_a = small_design(seed=21)
+        layout_b = small_design(seed=21)
+        res_orig = MGLLegalizer().legalize(layout_a)
+        res_sacs = MGLLegalizer(
+            FOPConfig(shifter=SortAheadShifter(), use_fwd_bwd_pipeline=True)
+        ).legalize(layout_b)
+        assert LegalityChecker().check(layout_b).legal
+        # Same ordering + equivalent shifting => identical placements.
+        assert res_sacs.average_displacement == pytest.approx(
+            res_orig.average_displacement, rel=1e-9
+        )
+        # But strictly less shifting work is recorded.
+        assert res_sacs.trace.total_shift_visits < res_orig.trace.total_shift_visits
+
+    def test_size_descending_order(self, tiny_design):
+        cells = tiny_design.movable_cells()
+        ordered = size_descending_order(tiny_design, cells)
+        areas = [c.area for c in ordered]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_result_reports_wall_time(self, tiny_design):
+        result = MGLLegalizer().legalize(tiny_design)
+        assert result.wall_seconds > 0.0
+
+
+class TestSlidingWindowOrdering:
+    def test_returns_all_cells_once(self, tiny_design):
+        ordering = SlidingWindowOrdering(window_size=6)
+        cells = tiny_design.movable_cells()
+        ordered = ordering(tiny_design, cells)
+        assert sorted(c.index for c in ordered) == sorted(c.index for c in cells)
+
+    def test_first_cell_is_largest(self, tiny_design):
+        ordering = SlidingWindowOrdering(window_size=6)
+        ordered = ordering(tiny_design, tiny_design.movable_cells())
+        max_area = max(c.area for c in tiny_design.movable_cells())
+        assert ordered[0].area == max_area
+
+    def test_differs_from_pure_size_order(self):
+        layout = small_design(num_cells=120, density=0.7, seed=33)
+        cells = layout.movable_cells()
+        by_size = [c.index for c in size_descending_order(layout, cells)]
+        by_window = [c.index for c in SlidingWindowOrdering(window_size=8)(layout, cells)]
+        assert by_size != by_window
+
+    def test_records_ops_and_stats(self, tiny_design):
+        ordering = SlidingWindowOrdering(window_size=6)
+        ordering(tiny_design, tiny_design.movable_cells())
+        assert ordering.last_op_count > 0
+        assert ordering.stats.window_slides == len(tiny_design.movable_cells())
+
+    def test_window_size_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowOrdering(window_size=1)
+
+    def test_empty_input(self, tiny_design):
+        assert SlidingWindowOrdering()(tiny_design, []) == []
+
+    def test_density_grid_matches_layout_density(self, dense_design):
+        grid = DensityGrid(dense_design)
+        estimate = grid.window_density(0, dense_design.width, 0, dense_design.height)
+        assert estimate == pytest.approx(dense_design.density(), rel=0.3)
+
+
+class TestFlexLegalizer:
+    def test_end_to_end(self, tiny_design):
+        result = FlexLegalizer().legalize(tiny_design)
+        assert LegalityChecker().check(tiny_design).legal
+        assert result.legalization.success
+        assert result.modeled_runtime_seconds > 0.0
+        assert result.fpga.total_cycles > 0.0
+        assert result.trace.shift_algorithm == "sacs"
+
+    def test_quality_not_worse_than_mgl(self):
+        layout_a = small_design(num_cells=150, density=0.72, seed=41)
+        layout_b = small_design(num_cells=150, density=0.72, seed=41)
+        mgl = MGLLegalizer().legalize(layout_a)
+        flex = FlexLegalizer().legalize(layout_b)
+        # The sliding-window ordering should not degrade quality by more
+        # than a few percent (the paper reports a ~1% improvement).
+        assert flex.average_displacement <= mgl.average_displacement * 1.05
+
+    def test_faster_than_cpu_baseline(self, tiny_design):
+        from repro.perf import CpuCostModel, MultiThreadModel
+
+        flex = FlexLegalizer().legalize(tiny_design)
+        cpu_8t = MultiThreadModel(threads=8).runtime_seconds(flex.trace)
+        assert flex.modeled_runtime_seconds < cpu_8t
+
+    def test_visible_transfer_is_small(self, tiny_design):
+        result = FlexLegalizer().legalize(tiny_design)
+        # Ping-pong preloading hides all but (roughly) the first transfer.
+        assert result.timeline.visible_transfer < 0.1 * result.modeled_runtime_seconds + 1e-4
+
+    def test_invalid_configuration_rejected(self):
+        config = FlexConfig(use_sacs=False, pipeline=PipelineOrganization.MULTI_GRANULARITY)
+        with pytest.raises(ValueError):
+            FlexLegalizer(config)
+
+    def test_normal_pipeline_configuration_runs(self, tiny_design):
+        from repro.core.config import NORMAL_PIPELINE_CONFIG
+
+        result = FlexLegalizer(NORMAL_PIPELINE_CONFIG).legalize(tiny_design)
+        assert LegalityChecker().check(tiny_design).legal
+        assert result.trace.shift_algorithm == "original"
+
+    def test_model_run_reuses_existing_legalization(self, tiny_design):
+        flex = FlexLegalizer()
+        first = flex.legalize(tiny_design)
+        again = FlexLegalizer(FlexConfig(fop_pe_parallelism=1)).model_run(first.legalization)
+        # One PE must not be faster than two PEs on the same trace.
+        assert again.fpga.total_cycles >= first.fpga.total_cycles
+
+    def test_resources_attached(self, tiny_design):
+        result = FlexLegalizer().legalize(tiny_design)
+        assert result.resources.totals.luts > 0
+        assert result.resources.fits()
+
+    def test_summary_text(self, tiny_design):
+        result = FlexLegalizer().legalize(tiny_design)
+        text = result.summary()
+        assert "AveDis" in text and "ms" in text
