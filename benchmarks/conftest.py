@@ -1,4 +1,4 @@
-"""Shared configuration of the benchmark harness.
+"""Fixtures of the benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper.  Because a
 single regeneration already runs several full legalization passes (slow
@@ -7,34 +7,17 @@ in pure Python), each benchmark executes exactly once per session
 that single wall time.  The result tables themselves are printed so that
 ``pytest benchmarks/ --benchmark-only -s`` shows the regenerated rows.
 
-The benchmark scale can be adjusted through the ``REPRO_BENCH_SCALE``
-environment variable (default 0.002 — about 60–260 cells per design).
+The shared constants and the ``run_once`` helper live in
+:mod:`repro.testing.bench` (importable from any directory, so
+``pytest tests benchmarks`` collects both suites without conftest-module
+shadowing); only pytest fixtures are defined here.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-#: Cell-count scale of the benchmark designs relative to the published sizes.
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
-#: Seed used for benchmark design generation (deterministic).
-BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2017"))
-#: Benchmarks used by the figure regenerations (Table 1 uses all 16).
-FIGURE_NAMES = [
-    "des_perf_1",
-    "des_perf_b_md1",
-    "edit_dist_a_md3",
-    "fft_a_md2",
-    "pci_b_a_md2",
-    "pci_b_b_md3",
-]
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+from repro.testing.bench import BENCH_SCALE, BENCH_SEED
 
 
 @pytest.fixture(scope="session")

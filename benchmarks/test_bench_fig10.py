@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.fig10 import run_fig10_task_assignment
 
-from conftest import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
+from repro.testing.bench import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
 
 
 def test_fig10_task_assignment(benchmark):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.experiments.fig2 import run_fig2_parallelism, run_fig2_scaling, run_fig2_shift_share
 
-from conftest import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
+from repro.testing.bench import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
 
 
 def test_fig2a_thread_scaling(benchmark):

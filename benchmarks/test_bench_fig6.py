@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.fig6 import run_fig6_sorting_share
 
-from conftest import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
+from repro.testing.bench import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
 
 
 def test_fig6g_sorting_share(benchmark):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.fig8 import run_fig8_ladder
 
-from conftest import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
+from repro.testing.bench import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
 
 
 def test_fig8_speedup_ladder(benchmark):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.fig9 import run_fig9_sacs
 
-from conftest import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
+from repro.testing.bench import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
 
 
 def test_fig9_sacs_optimisations(benchmark):

@@ -4,16 +4,26 @@ These complement the table/figure regenerations with pytest-benchmark
 timings of the two cell-shifting engines and the two curve-pipeline
 organisations on identical inputs, plus the sliding-window ordering
 against the plain size ordering — the design choices DESIGN.md calls out.
+
+The ``test_bench_backend_*`` cases additionally compare the registered
+kernel backends (:mod:`repro.kernels`) on identical inputs: the SACS
+chains, the curve pipeline, full FOP, and an end-to-end legalization of
+an ICCAD-2017-like design.  Backends are bit-for-bit equivalent (the
+cases assert it), so the timing delta is the whole story; run e.g.::
+
+    REPRO_BENCH_SCALE=0.008 pytest benchmarks -k backend --benchmark-only
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.benchgen import DesignSpec, generate_design
+from repro.benchgen import DesignSpec, generate_design, iccad2017_design
+from repro.core import FlexConfig, FlexLegalizer
 from repro.core.ordering import SlidingWindowOrdering
 from repro.core.sacs import SortAheadShifter, build_sacs_context, shift_cells_sacs
 from repro.geometry import Cell, Window
+from repro.kernels import available_backends, get_kernel_backend
 from repro.mgl.curves import minimize_curves, minimize_curves_fwd_bwd
 from repro.mgl.fop import FOPConfig, build_curves, find_optimal_position
 from repro.mgl.insertion import enumerate_all_insertion_points
@@ -21,6 +31,7 @@ from repro.mgl.legalizer import size_descending_order
 from repro.mgl.local_region import build_local_region
 from repro.mgl.premove import premove
 from repro.mgl.shifting import build_row_view, shift_cells_original
+from repro.testing.bench import BENCH_SCALE, BENCH_SEED, run_once
 
 
 def _obstacle_region(num_cells=260, density=0.65, seed=13, target_height=2):
@@ -124,6 +135,114 @@ def test_bench_fop_single_target(benchmark, shifting_case):
 
     result = benchmark(run)
     assert result.feasible
+
+
+# ----------------------------------------------------------------------
+# Kernel-backend comparisons (python reference vs vectorized numpy)
+# ----------------------------------------------------------------------
+BACKENDS = available_backends()
+
+
+def _dense_region(num_cells=700, density=0.8, seed=11, target_height=2):
+    """A large, dense localRegion — the regime the vectorized kernels target."""
+    return _obstacle_region(
+        num_cells=num_cells, density=density, seed=seed, target_height=target_height
+    )
+
+
+@pytest.fixture(scope="module")
+def dense_shifting_case():
+    return _dense_region()
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_bench_backend_sacs_chains(benchmark, dense_shifting_case, backend_name):
+    """SACS chain evaluation over every insertion point, per backend."""
+    _, target, region, points = dense_shifting_case
+    backend = get_kernel_backend(backend_name)
+    context = backend.build_sacs_context(region)
+
+    def run():
+        return [backend.shift_sacs(region, target, p, context) for p in points]
+
+    outcomes = benchmark(run)
+    assert any(o.feasible for o in outcomes)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_bench_backend_curve_pipeline(benchmark, dense_shifting_case, backend_name):
+    """Curve construction + minimization over feasible points, per backend."""
+    _, target, region, points = dense_shifting_case
+    backend = get_kernel_backend(backend_name)
+    reference = get_kernel_backend("python")
+    context = reference.build_sacs_context(region)
+    cases = []
+    for p in points:
+        outcome = reference.shift_sacs(region, target, p, context)
+        if outcome.feasible:
+            cases.append((p, outcome))
+
+    def run():
+        out = []
+        for p, outcome in cases:
+            curves = backend.build_curves(region, target, p.bottom_row, outcome, 10.0)
+            out.append(
+                backend.minimize(
+                    curves, outcome.xt_lo, outcome.xt_hi,
+                    preferred_x=target.gp_x, fwd_bwd=True,
+                )
+            )
+        return out
+
+    results = benchmark(run)
+    reference_results = [
+        reference.minimize(
+            reference.build_curves(region, target, p.bottom_row, o, 10.0),
+            o.xt_lo, o.xt_hi, preferred_x=target.gp_x, fwd_bwd=True,
+        )
+        for p, o in cases
+    ]
+    assert results == reference_results  # backends must agree bit for bit
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_bench_backend_fop(benchmark, dense_shifting_case, backend_name):
+    """Full FOP (loop1-3) for one target on a dense region, per backend."""
+    _, target, region, _ = dense_shifting_case
+    config = FOPConfig(
+        shifter=SortAheadShifter(backend=backend_name),
+        backend=backend_name,
+        use_fwd_bwd_pipeline=True,
+    )
+
+    def run():
+        return find_optimal_position(region, target, config)
+
+    result = benchmark(run)
+    reference = find_optimal_position(
+        region, target,
+        FOPConfig(shifter=SortAheadShifter(), use_fwd_bwd_pipeline=True),
+    )
+    assert (result.feasible, result.bottom_row, result.x, result.cost) == (
+        reference.feasible, reference.bottom_row, reference.x, reference.cost
+    )
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_bench_backend_iccad_legalization(benchmark, backend_name):
+    """End-to-end FLEX legalization of an ICCAD-2017-like design per backend.
+
+    Uses 4x the harness scale so the regions are large enough for the
+    vectorized regime while staying tractable for the python reference.
+    """
+    layout = iccad2017_design(
+        "des_perf_1", scale=min(4 * BENCH_SCALE, 0.01), seed=BENCH_SEED
+    )
+    flex = FlexLegalizer(FlexConfig(kernel_backend=backend_name))
+
+    result = run_once(benchmark, flex.legalize, layout)
+    assert result.legalization.success
+    assert result.trace.kernel_backend == backend_name
 
 
 def test_bench_orderings(benchmark):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.scalability import run_scalability
 
-from conftest import BENCH_SCALE, BENCH_SEED, run_once
+from repro.testing.bench import BENCH_SCALE, BENCH_SEED, run_once
 
 
 def test_scalability_flex_vs_cpu(benchmark):

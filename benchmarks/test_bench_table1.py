@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.benchgen.iccad2017 import benchmark_names
 from repro.experiments.table1 import run_table1
 
-from conftest import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
+from repro.testing.bench import BENCH_SCALE, BENCH_SEED, FIGURE_NAMES, run_once
 
 
 def test_table1_subset(benchmark):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.table2 import run_table2
 
-from conftest import run_once
+from repro.testing.bench import run_once
 
 
 def test_table2_resources(benchmark):

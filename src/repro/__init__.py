@@ -20,6 +20,14 @@ contribution:
     The Multi-row Global Legalization (MGL) algorithm substrate:
     pre-move, localRegion extraction, insertion-point enumeration,
     displacement-curve math and the FOP (find-optimal-position) kernel.
+``repro.kernels``
+    Pluggable kernel backends for the numeric hot paths (curve
+    construction/minimization, SACS chains): the pure-Python reference
+    oracle and a bit-for-bit NumPy-vectorized backend, selected via
+    ``FlexConfig.kernel_backend`` / ``MGLLegalizer(backend=...)``.
+``repro.testing``
+    Importable helpers shared by the ``tests/`` and ``benchmarks/``
+    suites (layout builders, benchmark constants).
 ``repro.core``
     The FLEX contributions: Sort-Ahead Cell Shifting (SACS), sliding
     window processing ordering, CPU/FPGA task assignment, the

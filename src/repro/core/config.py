@@ -68,6 +68,13 @@ class FlexConfig:
     sliding_window_ordering: bool = True
     """Use the sliding-window processing ordering instead of plain size order."""
 
+    kernel_backend: str = "python"
+    """Kernel backend executing the host-side numeric hot paths (curve
+    construction/minimization and SACS chains): a name registered in
+    :mod:`repro.kernels` (``"python"`` reference or vectorized
+    ``"numpy"``).  Backends are bit-for-bit equivalent, so this only
+    changes measured wall time, never results or recorded work."""
+
     ordering_window_size: int = 8
     """Size of the sliding window W_s."""
 
@@ -95,6 +102,13 @@ class FlexConfig:
             raise ValueError("fop_pe_parallelism must be at least 1")
         if self.ordering_window_size < 2:
             raise ValueError("ordering_window_size must be at least 2")
+        from repro.kernels import available_backends
+
+        if self.kernel_backend not in available_backends():
+            raise ValueError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                f"available: {available_backends()}"
+            )
         if self.pipeline is PipelineOrganization.MULTI_GRANULARITY and not self.use_sacs:
             raise ValueError(
                 "the multi-granularity pipeline requires SACS: the original "
@@ -109,6 +123,8 @@ class FlexConfig:
             "sacs" if self.use_sacs else "orig-shift",
             self.task_partition.value,
         ]
+        if self.kernel_backend != "python":
+            parts.append(self.kernel_backend)
         return "+".join(parts)
 
 

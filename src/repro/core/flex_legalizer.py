@@ -111,10 +111,15 @@ class FlexLegalizer:
     # ------------------------------------------------------------------
     def _build_algorithm(self) -> MGLLegalizer:
         """Instantiate the MGL machinery with the FLEX algorithm choices."""
-        shifter = SortAheadShifter() if self.config.use_sacs else OriginalShifter()
+        shifter = (
+            SortAheadShifter(backend=self.config.kernel_backend)
+            if self.config.use_sacs
+            else OriginalShifter()
+        )
         fop_config = FOPConfig(
             shifter=shifter,
             use_fwd_bwd_pipeline=self.config.pipeline is PipelineOrganization.MULTI_GRANULARITY,
+            backend=self.config.kernel_backend,
         )
         ordering = (
             SlidingWindowOrdering(window_size=self.config.ordering_window_size)

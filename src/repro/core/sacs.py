@@ -183,17 +183,39 @@ class SortAheadShifter:
     ``prepare`` builds the sorted context once per localRegion (the sort
     is shared by all insertion points of the region, as in the hardware
     where the Ahead Sorter runs once per region).
+
+    ``backend`` selects the kernel backend executing the chain
+    evaluation (a :mod:`repro.kernels` name or instance; ``None`` means
+    the default ``"python"`` reference).  All backends produce
+    bit-identical :class:`~repro.mgl.shifting.ShiftOutcome` records.
     """
 
     name = "sacs"
 
-    def __init__(self) -> None:
+    def __init__(self, backend: object = None) -> None:
+        self._backend_spec = backend
+        self._backend = None
         self._context: Optional[SACSContext] = None
         self._region_id: Optional[int] = None
 
+    def set_backend(self, backend: object) -> None:
+        """Switch the kernel backend (drops any cached region context)."""
+        self._backend_spec = backend
+        self._backend = None
+        self._context = None
+        self._region_id = None
+
+    def _resolve(self):
+        if self._backend is None:
+            # Imported lazily: repro.kernels' backends import this module.
+            from repro.kernels import resolve_backend
+
+            self._backend = resolve_backend(self._backend_spec)
+        return self._backend
+
     def prepare(self, region: LocalRegion) -> None:
         """Pre-sort the localCells of the region about to be processed."""
-        self._context = build_sacs_context(region)
+        self._context = self._resolve().build_sacs_context(region)
         self._region_id = id(region)
 
     def shift(self, region: LocalRegion, target: Cell, insertion: InsertionPoint) -> ShiftOutcome:
@@ -201,4 +223,4 @@ class SortAheadShifter:
         if self._context is None or self._region_id != id(region):
             self.prepare(region)
         assert self._context is not None
-        return shift_cells_sacs(region, target, insertion, self._context)
+        return self._resolve().shift_sacs(region, target, insertion, self._context)

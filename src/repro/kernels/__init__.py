@@ -1,0 +1,116 @@
+"""Pluggable kernel backends for the legalizer hot paths.
+
+The three FOP inner loops — displacement-curve construction/merging,
+curve minimization, and SACS shifting-chain evaluation — are behind the
+:class:`~repro.kernels.base.KernelBackend` interface so that multiple
+implementations can be swapped without touching the algorithm layer:
+
+``python``
+    The scalar reference implementation (the oracle).  Always available.
+``numpy``
+    NumPy-vectorized kernels, bit-for-bit equal to the reference
+    (:mod:`repro.kernels.numpy_backend`).  Registered only when numpy is
+    importable.
+
+Selecting a backend
+-------------------
+Every entry point takes a backend name (or instance):
+
+>>> from repro.core import FlexConfig, FlexLegalizer
+>>> flex = FlexLegalizer(FlexConfig(kernel_backend="numpy"))
+
+>>> from repro.mgl import MGLLegalizer
+>>> mgl = MGLLegalizer(backend="numpy")
+
+or at the kernel level:
+
+>>> from repro.kernels import get_kernel_backend
+>>> backend = get_kernel_backend("numpy")
+
+Adding a backend
+----------------
+Subclass :class:`~repro.kernels.base.KernelBackend`, implement its five
+methods, register a factory with :func:`register_backend`, and add the
+backend name to the parametrized equivalence suite in
+``tests/test_kernels.py`` — the suite asserts bit-for-bit agreement with
+the ``python`` oracle on curves, FOP positions and SACS shifts.  This is
+the extension point future GPU / multiprocess backends plug into.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.kernels.base import KernelBackend
+
+#: Backend used when no explicit choice is made anywhere.
+DEFAULT_BACKEND = "python"
+
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {}
+_INSTANCES: Dict[str, KernelBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites silently)."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> List[str]:
+    """Names of the registered (importable) backends, sorted."""
+    return sorted(_FACTORIES)
+
+
+def get_kernel_backend(name: str) -> KernelBackend:
+    """Return the shared backend instance registered under ``name``."""
+    try:
+        instance = _INSTANCES.get(name)
+        if instance is None:
+            instance = _INSTANCES[name] = _FACTORIES[name]()
+        return instance
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+#: Anything the configuration layer accepts as a backend choice.
+BackendSpec = Union[str, KernelBackend, None]
+
+
+def resolve_backend(spec: BackendSpec) -> KernelBackend:
+    """Resolve a config value (name, instance or None) to a backend."""
+    if spec is None:
+        return get_kernel_backend(DEFAULT_BACKEND)
+    if isinstance(spec, KernelBackend):
+        return spec
+    return get_kernel_backend(spec)
+
+
+# ----------------------------------------------------------------------
+# Built-in backend registration (kept after the registry definitions:
+# repro.mgl.fop imports this module while the backends below import
+# repro.mgl — the functions above must already exist at that point).
+# ----------------------------------------------------------------------
+from repro.kernels.python_backend import PythonKernelBackend  # noqa: E402
+
+register_backend("python", PythonKernelBackend)
+
+from repro.kernels import numpy_backend as _numpy_backend  # noqa: E402
+
+if _numpy_backend.np is not None:
+    register_backend("numpy", _numpy_backend.NumpyKernelBackend)
+
+NumpyKernelBackend = _numpy_backend.NumpyKernelBackend
+
+__all__ = [
+    "KernelBackend",
+    "PythonKernelBackend",
+    "NumpyKernelBackend",
+    "BackendSpec",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_kernel_backend",
+    "register_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,572 @@
+"""NumPy-accelerated kernel backend.
+
+Fast implementations of the FOP hot paths: displacement-curve
+construction, the five-stage / fwd-bwd curve-minimization pipeline,
+batch curve evaluation (snapping), and the SACS shifting chains.
+
+**Bit-for-bit equivalence.**  The backend must reproduce the pure-Python
+reference exactly, so every vectorized reduction is expressed with NumPy
+operations that perform the *same sequential left-fold* the scalar loops
+perform:
+
+* ``np.add.accumulate`` / ``np.subtract.accumulate`` evaluate the exact
+  recurrence ``acc = acc ⊕ x_i`` (prefix results force sequential order,
+  no pairwise re-association);
+* ``np.add.reduceat`` folds each merge group left-to-right, matching the
+  ``merged[-1] += piece`` accumulation of ``merge_breakpoints``;
+* elementwise arithmetic (``a * b - c``) is IEEE-754 double math, bit
+  identical to the equivalent Python-float expressions.
+
+**Adaptive dispatch.**  Array setup costs more than the whole scalar
+pipeline on small inputs, so the backend switches representation by
+size: insertion points whose curve sets stay below :data:`_VECTOR_MIN`
+pieces are delegated to the scalar reference (identical by definition),
+larger ones use the flat-array pipeline.  Curve sets containing
+near-duplicate breakpoints (``0 < dx <= eps``, where the reference's
+group-start merging and a diff-based grouping could disagree) are also
+routed to the reference.
+
+**SACS.**  Sort-ahead shifting is accelerated two ways, both exact:
+
+* insertion points whose spanned rows contain only single-height cells
+  have independent per-row push chains; each chain is one
+  ``accumulate`` recurrence over the inter-cell gaps;
+* general (multi-row-coupled) points use a sparse rank-heap propagation
+  that visits only the cells that actually receive a push threshold —
+  O(chain length) instead of the reference's O(region cells) sweep —
+  while replaying threshold updates in exactly the reference's
+  processing order (the heap pops the pre-sorted SACS ranks, so the
+  epsilon-guarded max/min updates and the dict insertion order match
+  the reference's full sweep bit for bit).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # numpy is an optional dependency of the package
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less hosts
+    np = None  # type: ignore[assignment]
+
+from repro.kernels.base import KernelBackend
+from repro.mgl.curves import (
+    BreakpointPiece,
+    CurveEvaluation,
+    _pick_best,
+    evaluate_piecewise,
+    minimize_curves,
+    minimize_curves_fwd_bwd,
+)
+from repro.mgl.shifting import ShiftOutcome
+
+_EPS = 1e-9
+_INF = math.inf
+#: Piece count below which the scalar reference outruns the array setup;
+#: correctness is identical on both sides of the threshold (empirically
+#: tuned on ICCAD-2017-like regions, see benchmarks/test_bench_kernels.py).
+_VECTOR_MIN = 48
+
+
+class CurveArrays:
+    """Flat-array curve set: breakpoint x, left slope, right slope.
+
+    Pieces are stored in *construction order* (target curve first, then
+    the left-chain cells' pieces in threshold-dict order, then the
+    right-chain cells'), which is what makes the stable sort inside
+    :meth:`NumpyKernelBackend.minimize` order ties exactly like the
+    reference ``sorted`` call does.
+    """
+
+    __slots__ = ("xs", "ls", "rs", "constant")
+
+    def __init__(self, xs, ls, rs, constant: float) -> None:
+        self.xs = xs
+        self.ls = ls
+        self.rs = rs
+        self.constant = constant
+
+    def __len__(self) -> int:
+        return int(self.xs.shape[0])
+
+    def to_pieces(self) -> Tuple[List[BreakpointPiece], float]:
+        """Reference-form view (used by fallbacks and tests)."""
+        pieces = [
+            BreakpointPiece(float(x), float(l), float(r))
+            for x, l, r in zip(self.xs, self.ls, self.rs)
+        ]
+        return pieces, self.constant
+
+
+class NumpyKernelBackend(KernelBackend):
+    """Vectorized kernels, bit-for-bit equal to the Python reference."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        if np is None:  # pragma: no cover - exercised only on numpy-less hosts
+            raise RuntimeError(
+                "the 'numpy' kernel backend requires numpy; install it or "
+                "select backend='python'"
+            )
+
+    # ------------------------------------------------------------------
+    # Displacement-curve construction
+    # ------------------------------------------------------------------
+    def build_curves(self, region, target, bottom_row, outcome, vertical_cost_factor):
+        n_left = len(outcome.left_thresholds)
+        n_right = len(outcome.right_thresholds)
+        if 1 + 2 * (n_left + n_right) < _VECTOR_MIN:
+            # Small curve set: the scalar reference is faster end to end.
+            from repro.mgl.fop import build_curves
+
+            return build_curves(region, target, bottom_row, outcome, vertical_cost_factor)
+
+        vertical_cost = abs(bottom_row - target.gp_y) * vertical_cost_factor
+        cells = region.local_cells
+
+        def gather(items):
+            k = len(items)
+            thr = np.fromiter(items.values(), dtype=np.float64, count=k)
+            x = np.fromiter((cells[i].x for i in items), dtype=np.float64, count=k)
+            gp = np.fromiter((cells[i].gp_x for i in items), dtype=np.float64, count=k)
+            return thr, x - gp
+
+        l_thr, l_delta = gather(outcome.left_thresholds)
+        r_thr, r_delta = gather(outcome.right_thresholds)
+
+        # A left-pushed cell at-or-right-of its GP spot (delta >= 0) emits a
+        # V piece plus a hinge and the constant -delta; otherwise one hinge.
+        l_two = l_delta >= 0.0
+        # A right-pushed cell at-or-left-of its GP spot (delta <= 0) mirrors.
+        r_two = r_delta <= 0.0
+        l_counts = np.where(l_two, 2, 1)
+        r_counts = np.where(r_two, 2, 1)
+        total = 1 + int(l_counts.sum()) + int(r_counts.sum())
+
+        xs = np.empty(total, dtype=np.float64)
+        ls = np.empty(total, dtype=np.float64)
+        rs = np.empty(total, dtype=np.float64)
+        # Target curve |x_t - gp_x|.
+        xs[0], ls[0], rs[0] = target.gp_x, -1.0, 1.0
+
+        l_start = 1 + np.cumsum(l_counts) - l_counts
+        s2 = l_start[l_two]
+        xs[s2] = (l_thr - l_delta)[l_two]
+        ls[s2], rs[s2] = -1.0, 1.0
+        xs[s2 + 1] = l_thr[l_two]
+        ls[s2 + 1], rs[s2 + 1] = 0.0, -1.0
+        s1 = l_start[~l_two]
+        xs[s1] = l_thr[~l_two]
+        ls[s1], rs[s1] = -1.0, 0.0
+
+        r_base = 1 + int(l_counts.sum())
+        hinge = r_thr - target.width
+        r_start = r_base + np.cumsum(r_counts) - r_counts
+        s2 = r_start[r_two]
+        xs[s2] = (hinge - r_delta)[r_two]
+        ls[s2], rs[s2] = -1.0, 1.0
+        xs[s2 + 1] = hinge[r_two]
+        ls[s2 + 1], rs[s2 + 1] = 1.0, 0.0
+        s1 = r_start[~r_two]
+        xs[s1] = hinge[~r_two]
+        ls[s1], rs[s1] = 0.0, 1.0
+
+        # Constant: the reference folds the per-cell constants one by one
+        # onto the vertical cost; accumulate() performs the same fold.
+        consts = np.empty(1 + n_left + n_right, dtype=np.float64)
+        consts[0] = vertical_cost
+        consts[1 : 1 + n_left] = np.where(l_two, -l_delta, 0.0)
+        consts[1 + n_left :] = np.where(r_two, r_delta, 0.0)
+        constant = float(np.add.accumulate(consts)[-1])
+        return CurveArrays(xs, ls, rs, constant)
+
+    # ------------------------------------------------------------------
+    # Curve minimization
+    # ------------------------------------------------------------------
+    def minimize(
+        self,
+        curves: Any,
+        lo: float,
+        hi: float,
+        *,
+        preferred_x: Optional[float] = None,
+        fwd_bwd: bool = False,
+    ) -> CurveEvaluation:
+        if not isinstance(curves, CurveArrays):
+            pieces, constant = curves
+            minimizer = minimize_curves_fwd_bwd if fwd_bwd else minimize_curves
+            return minimizer(pieces, constant, lo, hi, preferred_x=preferred_x)
+
+        n = len(curves)
+        if n == 0:
+            # The reference handles zero pieces; the vector path cannot.
+            return self._minimize_reference(curves, lo, hi, preferred_x, fwd_bwd)
+        if hi < lo - _EPS:
+            raise ValueError(f"empty evaluation interval [{lo}, {hi}]")
+        hi = max(hi, lo)
+
+        order = np.argsort(curves.xs, kind="stable")
+        xs = curves.xs[order]
+        ls_s = curves.ls[order]
+        rs_s = curves.rs[order]
+        d = np.diff(xs)
+        if bool(((d > 0.0) & (d <= _EPS)).any()):
+            # Near-coincident (but unequal) breakpoints: the reference
+            # merges against the group's first x, a diff cannot express
+            # that chain — defer to the oracle.
+            return self._minimize_reference(curves, lo, hi, preferred_x, fwd_bwd)
+
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = d > _EPS
+        starts = np.flatnonzero(new_group)
+        m = int(starts.shape[0])
+        mx = xs[starts]
+        mls = np.add.reduceat(ls_s, starts)
+        mrs = np.add.reduceat(rs_s, starts)
+
+        if fwd_bwd:
+            # fwdtraverse accumulates the right slopes per *piece*; the
+            # group-end prefix values are the merged slopesR.
+            ends = np.empty(m, dtype=np.intp)
+            ends[:-1] = starts[1:] - 1
+            ends[-1] = n - 1
+            slopes_r = np.add.accumulate(rs_s)[ends]
+            aw_r = np.add.accumulate(mrs * mx)
+            v_r = slopes_r * mx - aw_r
+            slopes_l = np.add.accumulate(mls[::-1])[::-1]
+            aw_l = np.add.accumulate((mls * mx)[::-1])[::-1]
+            v_l = slopes_l * mx - aw_l
+            values = v_r + v_l
+        else:
+            slopes_r = np.add.accumulate(mrs)
+            slopes_l = np.add.accumulate(mls[::-1])[::-1]
+            if m > 1:
+                v0 = np.add.accumulate(mls[1:] * (mx[0] - mx[1:]))[-1]
+                seg_slopes = slopes_r[:-1] + slopes_l[1:]
+                deltas = seg_slopes * np.diff(mx)
+                values = np.add.accumulate(np.concatenate(((v0,), deltas)))
+            else:
+                values = np.zeros(1, dtype=np.float64)
+
+        def value_at(q: float) -> float:
+            if q <= mx[0]:
+                return float(values[0] + slopes_l[0] * (q - mx[0]))
+            if q >= mx[-1]:
+                return float(values[-1] + slopes_r[-1] * (q - mx[-1]))
+            i = int(np.searchsorted(mx, q, side="left")) - 1
+            slope = slopes_r[i] + slopes_l[i + 1]
+            return float(values[i] + slope * (q - mx[i]))
+
+        in_range = (mx >= lo - _EPS) & (mx <= hi + _EPS)
+        candidates: List[Tuple[float, float]] = [
+            (min(max(x, lo), hi), v)
+            for x, v in zip(mx[in_range].tolist(), values[in_range].tolist())
+        ]
+        for bound in (lo, hi):
+            candidates.append((bound, value_at(bound)))
+        if preferred_x is not None and lo <= preferred_x <= hi:
+            candidates.append((preferred_x, value_at(preferred_x)))
+        best_x, best_v = _pick_best(candidates, preferred_x)
+        return CurveEvaluation(
+            best_x=best_x,
+            best_value=best_v + curves.constant,
+            n_breakpoints=n,
+            n_merged=m,
+        )
+
+    def _minimize_reference(
+        self,
+        curves: CurveArrays,
+        lo: float,
+        hi: float,
+        preferred_x: Optional[float],
+        fwd_bwd: bool,
+    ) -> CurveEvaluation:
+        pieces, constant = curves.to_pieces()
+        minimizer = minimize_curves_fwd_bwd if fwd_bwd else minimize_curves
+        return minimizer(pieces, constant, lo, hi, preferred_x=preferred_x)
+
+    # ------------------------------------------------------------------
+    # Batch evaluation (FOP snapping)
+    # ------------------------------------------------------------------
+    def evaluate(self, curves: Any, xs: Sequence[float]) -> List[float]:
+        if not isinstance(curves, CurveArrays):
+            pieces, constant = curves
+            return [evaluate_piecewise(pieces, constant, x) for x in xs]
+        if len(curves) == 0:
+            return [curves.constant + 0.0 for _ in xs]
+        q = np.asarray(xs, dtype=np.float64)[:, None]
+        diffs = q - curves.xs[None, :]
+        vals = np.where(q < curves.xs[None, :], curves.ls * diffs, curves.rs * diffs)
+        totals = np.add.accumulate(vals, axis=1)[:, -1]
+        return [curves.constant + float(t) for t in totals]
+
+    # ------------------------------------------------------------------
+    # SACS shifting chains
+    # ------------------------------------------------------------------
+    def build_sacs_context(self, region):
+        from repro.core.sacs import build_sacs_context
+
+        return self._augment_context(build_sacs_context(region), region)
+
+    def _augment_context(self, ctx, region):
+        """Attach the backend's lookup tables to a (reference) context.
+
+        Mutates ``ctx`` in place so that a caller-owned reference context
+        keeps its identity and state (notably ``consumed_sort_report``,
+        which controls the once-per-region sort work report).
+        """
+        cells = region.local_cells
+        n = len(cells)
+        # Per-row coordinate arrays feeding the accumulate chain path.
+        row_x: Dict[int, Any] = {}
+        row_right: Dict[int, Any] = {}
+        row_pure: Dict[int, bool] = {}
+        for row, indices in ctx.row_indices.items():
+            k = len(indices)
+            row_x[row] = np.fromiter((cells[i].x for i in indices), np.float64, count=k)
+            row_right[row] = np.fromiter(
+                (cells[i].right for i in indices), np.float64, count=k
+            )
+            row_pure[row] = all(cells[i].height == 1 for i in indices)
+        # Plain-list snapshots feeding the sparse heap path (scalar access
+        # into numpy arrays is slower than list indexing).
+        ctx.np_cell_x = [lc.x for lc in cells]
+        ctx.np_cell_right = [lc.right for lc in cells]
+        ctx.np_cell_rows = [lc.rows for lc in cells]
+        # Tightest segment bounds over each cell's rows, precomputed once
+        # per region instead of once per insertion point in finalize.
+        segments = region.segments
+        ctx.np_cell_seg_lo = [
+            max(segments[row].x_lo for row in lc.rows) for lc in cells
+        ]
+        ctx.np_cell_seg_hi = [
+            min(segments[row].x_hi for row in lc.rows) for lc in cells
+        ]
+        ctx.np_seg_lo = {row: seg.x_lo for row, seg in segments.items()}
+        ctx.np_seg_hi = {row: seg.x_hi for row, seg in segments.items()}
+        # Processing ranks reproduce the reference update order.
+        rank_desc = np.empty(n, dtype=np.intp)
+        rank_desc[np.asarray(ctx.order_desc, dtype=np.intp)] = np.arange(n)
+        rank_asc = np.empty(n, dtype=np.intp)
+        rank_asc[np.asarray(ctx.order_asc, dtype=np.intp)] = np.arange(n)
+        ctx.np_row_x = row_x
+        ctx.np_row_right = row_right
+        ctx.np_row_pure = row_pure
+        ctx.np_rank_desc = rank_desc.tolist()
+        ctx.np_rank_asc = rank_asc.tolist()
+        return ctx
+
+    def shift_sacs(self, region, target, insertion, context) -> ShiftOutcome:
+        ctx = context
+        if not hasattr(ctx, "np_row_pure"):
+            ctx = self._augment_context(ctx, region)
+
+        outcome = ShiftOutcome()
+        outcome.passes = 2
+        if not ctx.consumed_sort_report:
+            outcome.sorted_cells = ctx.sort_size
+            ctx.consumed_sort_report = True
+        split = insertion.split_map()
+        outcome.cell_visits = 2 * ctx.sort_size
+        outcome.multirow_accesses = 2 * ctx.multirow_cells
+        outcome.tall_accesses = 2 * ctx.tall_cells
+
+        if all(ctx.np_row_pure.get(row, True) for row in insertion.rows):
+            left, right = self._shift_pure_chains(ctx, insertion, split)
+        else:
+            left = self._propagate_sparse(ctx, insertion, split, leftward=True)
+            right = self._propagate_sparse(ctx, insertion, split, leftward=False)
+        return self._finalize_fast(ctx, outcome, target, insertion, split, left, right)
+
+    # ------------------------------------------------------------------
+    def _finalize_fast(self, ctx, outcome, target, insertion, split, left, right):
+        """Reference ``_finalize_outcome`` with per-region cached bounds.
+
+        Identical logic and float-operation order; the only change is
+        that the per-cell tightest segment bounds come from the context
+        cache instead of being recomputed per insertion point (``max`` /
+        ``min`` folds are exact, so caching cannot alter any bit).
+        """
+        outcome.left_thresholds = left
+        outcome.right_thresholds = right
+        if left and right and set(left) & set(right):
+            outcome.feasible = False
+            return outcome
+        row_indices = ctx.row_indices
+        for row in insertion.rows:
+            indices = row_indices.get(row, [])
+            k = split[row]
+            if any(idx in left for idx in indices[k:]) or any(
+                idx in right for idx in indices[:k]
+            ):
+                outcome.feasible = False
+                return outcome
+        lo = max(ctx.np_seg_lo[row] for row in insertion.rows)
+        hi = min(ctx.np_seg_hi[row] for row in insertion.rows) - target.width
+        cell_x = ctx.np_cell_x
+        cell_right = ctx.np_cell_right
+        seg_lo = ctx.np_cell_seg_lo
+        seg_hi = ctx.np_cell_seg_hi
+        for idx, b in left.items():
+            lo = max(lo, b - (cell_x[idx] - seg_lo[idx]))
+        for idx, r in right.items():
+            hi = min(hi, r + (seg_hi[idx] - cell_right[idx]) - target.width)
+        outcome.xt_lo, outcome.xt_hi = lo, hi
+        outcome.feasible = hi >= lo - _EPS and math.ceil(lo - _EPS) <= math.floor(hi + _EPS)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _shift_pure_chains(self, ctx, insertion, split):
+        """Independent per-row chains (only single-height cells spanned).
+
+        With no multi-row cell in the spanned rows, constraints never
+        leave their row, so each side's thresholds are one running-gap
+        recurrence evaluated by ``subtract``/``add`` ``accumulate`` —
+        exactly the reference's ``b - (x[j+1] - right[j])`` /
+        ``r + (x[j] - right[j-1])`` steps.  Entries enter the threshold
+        dicts seeds-first, then in the pushing cell's processing-rank
+        order, reproducing the reference dict ordering (which downstream
+        curve construction depends on for stable-sort ties).
+        """
+        left: Dict[int, float] = {}
+        chained: List[Tuple[int, int, float]] = []
+        for row in insertion.rows:
+            indices = ctx.row_indices.get(row, [])
+            k = split[row]
+            if k <= 0:
+                continue
+            x = ctx.np_row_x[row]
+            right_edge = ctx.np_row_right[row]
+            left[indices[k - 1]] = float(right_edge[k - 1])
+            if k >= 2:
+                seq = np.empty(k, dtype=np.float64)
+                seq[0] = right_edge[k - 1]
+                seq[1:] = (x[1:k] - right_edge[: k - 1])[::-1]
+                thresholds = np.subtract.accumulate(seq)
+                rank = ctx.np_rank_desc
+                pusher_ranks = [rank[i] for i in indices[k - 1 : 0 : -1]]
+                chained.extend(
+                    zip(pusher_ranks, indices[k - 2 :: -1], thresholds[1:].tolist())
+                )
+        chained.sort(key=lambda entry: entry[0])
+        for _, idx, value in chained:
+            left[idx] = value
+
+        right: Dict[int, float] = {}
+        chained = []
+        for row in insertion.rows:
+            indices = ctx.row_indices.get(row, [])
+            k = split[row]
+            n_row = len(indices)
+            if k >= n_row:
+                continue
+            x = ctx.np_row_x[row]
+            right_edge = ctx.np_row_right[row]
+            right[indices[k]] = float(x[k])
+            if k < n_row - 1:
+                seq = np.empty(n_row - k, dtype=np.float64)
+                seq[0] = x[k]
+                seq[1:] = x[k + 1 :] - right_edge[k : n_row - 1]
+                thresholds = np.add.accumulate(seq)
+                rank = ctx.np_rank_asc
+                pusher_ranks = [rank[i] for i in indices[k : n_row - 1]]
+                chained.extend(
+                    zip(pusher_ranks, indices[k + 1 :], thresholds[1:].tolist())
+                )
+        chained.sort(key=lambda entry: entry[0])
+        for _, idx, value in chained:
+            right[idx] = value
+        return left, right
+
+    def _propagate_sparse(self, ctx, insertion, split, *, leftward: bool):
+        """General SACS propagation visiting only threshold-carrying cells.
+
+        The reference sweeps every sorted cell and skips the ones without
+        a threshold; here a min-heap over the same processing ranks pops
+        exactly the threshold-carrying cells in the identical order.  A
+        cell's first threshold always comes from a strictly earlier rank
+        (its pusher lies strictly further out in the processing
+        direction), so each cell is heap-inserted before its rank is
+        reached and every epsilon-guarded update happens at the same
+        point of the processing order as in the reference sweep — values
+        and dict insertion order are bit-identical.
+        """
+        thresholds: Dict[int, float] = {}
+        cell_x = ctx.np_cell_x
+        cell_right = ctx.np_cell_right
+        cell_rows = ctx.np_cell_rows
+        position = ctx.position_in_row
+        row_indices = ctx.row_indices
+        heap: List[int] = []
+
+        if leftward:
+            order, rank = ctx.order_desc, ctx.np_rank_desc
+            for row in insertion.rows:
+                indices = row_indices.get(row, [])
+                k = split[row]
+                if k > 0:
+                    idx = indices[k - 1]
+                    prev = thresholds.get(idx)
+                    seed = cell_right[idx]
+                    if prev is None:
+                        thresholds[idx] = seed
+                        heapq.heappush(heap, rank[idx])
+                    elif seed > prev:
+                        thresholds[idx] = seed
+        else:
+            order, rank = ctx.order_asc, ctx.np_rank_asc
+            for row in insertion.rows:
+                indices = row_indices.get(row, [])
+                k = split[row]
+                if k < len(indices):
+                    idx = indices[k]
+                    prev = thresholds.get(idx)
+                    seed = cell_x[idx]
+                    if prev is None:
+                        thresholds[idx] = seed
+                        heapq.heappush(heap, rank[idx])
+                    elif seed < prev:
+                        thresholds[idx] = seed
+
+        while heap:
+            idx = order[heapq.heappop(heap)]
+            bound = thresholds[idx]
+            x_i = cell_x[idx]
+            right_i = cell_right[idx]
+            for row in cell_rows[idx]:
+                pos = position[(idx, row)]
+                limit = split.get(row)
+                indices = row_indices[row]
+                if leftward:
+                    if pos == 0:
+                        continue
+                    if limit is not None and pos >= limit:
+                        # Right-side subcell of a spanned row: never pushes left.
+                        continue
+                    neighbour = indices[pos - 1]
+                    candidate = bound - (x_i - cell_right[neighbour])
+                    current = thresholds.get(neighbour)
+                    if current is None:
+                        thresholds[neighbour] = candidate
+                        heapq.heappush(heap, rank[neighbour])
+                    elif candidate > current + _EPS:
+                        thresholds[neighbour] = candidate
+                else:
+                    if pos == len(indices) - 1:
+                        continue
+                    if limit is not None and pos < limit:
+                        continue
+                    neighbour = indices[pos + 1]
+                    candidate = bound + (cell_x[neighbour] - right_i)
+                    current = thresholds.get(neighbour)
+                    if current is None:
+                        thresholds[neighbour] = candidate
+                        heapq.heappush(heap, rank[neighbour])
+                    elif candidate < current - _EPS:
+                        thresholds[neighbour] = candidate
+        return thresholds

@@ -1,0 +1,65 @@
+"""The pure-Python reference kernel backend.
+
+This backend delegates to the scalar reference implementations that live
+next to the algorithms they model (:mod:`repro.mgl.curves`,
+:mod:`repro.mgl.fop`, :mod:`repro.core.sacs`).  Those functions are the
+*oracle*: every other backend must reproduce their outputs bit for bit,
+and they stay readable, paper-shaped Python for exactly that reason.
+
+The delegated modules are imported lazily inside the methods because the
+registry in :mod:`repro.kernels` is itself imported by ``repro.mgl.fop``
+and ``repro.core.sacs`` — a module-level import in either direction
+would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.kernels.base import KernelBackend
+
+
+class PythonKernelBackend(KernelBackend):
+    """Scalar reference implementation of every kernel."""
+
+    name = "python"
+
+    # ------------------------------------------------------------------
+    def build_curves(
+        self, region, target, bottom_row, outcome, vertical_cost_factor
+    ) -> Tuple[list, float]:
+        from repro.mgl.fop import build_curves
+
+        return build_curves(region, target, bottom_row, outcome, vertical_cost_factor)
+
+    def minimize(
+        self,
+        curves: Any,
+        lo: float,
+        hi: float,
+        *,
+        preferred_x: Optional[float] = None,
+        fwd_bwd: bool = False,
+    ):
+        from repro.mgl.curves import minimize_curves, minimize_curves_fwd_bwd
+
+        pieces, constant = curves
+        minimizer = minimize_curves_fwd_bwd if fwd_bwd else minimize_curves
+        return minimizer(pieces, constant, lo, hi, preferred_x=preferred_x)
+
+    def evaluate(self, curves: Any, xs: Sequence[float]) -> List[float]:
+        from repro.mgl.curves import evaluate_piecewise
+
+        pieces, constant = curves
+        return [evaluate_piecewise(pieces, constant, x) for x in xs]
+
+    # ------------------------------------------------------------------
+    def build_sacs_context(self, region):
+        from repro.core.sacs import build_sacs_context
+
+        return build_sacs_context(region)
+
+    def shift_sacs(self, region, target, insertion, context):
+        from repro.core.sacs import shift_cells_sacs
+
+        return shift_cells_sacs(region, target, insertion, context)

@@ -10,6 +10,11 @@ lowest cost wins.
 The work performed per insertion point is recorded into
 :class:`~repro.perf.counters.InsertionPointWork` entries so that the
 CPU cost models and the FPGA cycle models can replay it.
+
+The numeric inner loops (curve construction, minimization, snapping) are
+delegated to a pluggable kernel backend (:mod:`repro.kernels`) selected
+through :attr:`FOPConfig.backend`; the reference ``build_curves`` below
+is the pure-Python oracle the backends must match bit for bit.
 """
 
 from __future__ import annotations
@@ -20,12 +25,10 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.geometry.cell import Cell
 from repro.geometry.region import LocalRegion
+from repro.kernels import BackendSpec, KernelBackend, resolve_backend
 from repro.mgl.curves import (
     BreakpointPiece,
-    evaluate_piecewise,
     left_shift_curve,
-    minimize_curves,
-    minimize_curves_fwd_bwd,
     right_shift_curve,
     target_curve,
 )
@@ -61,12 +64,20 @@ class FOPConfig:
     max_points_per_row:
         Optional cap on the number of insertion points enumerated per
         candidate bottom row (used only by approximate baseline models).
+    backend:
+        Kernel backend evaluating the numeric hot paths (curve
+        construction, minimization, snapping): a registered backend name
+        (``"python"``, ``"numpy"``), a
+        :class:`~repro.kernels.base.KernelBackend` instance, or ``None``
+        for the default (``"python"``).  All backends are bit-for-bit
+        equivalent; see :mod:`repro.kernels`.
     """
 
     shifter: object = field(default_factory=OriginalShifter)
     use_fwd_bwd_pipeline: bool = False
     vertical_cost_factor: float = 10.0
     max_points_per_row: Optional[int] = None
+    backend: BackendSpec = None
 
 
 @dataclass
@@ -114,8 +125,8 @@ def build_curves(
 
 
 def _snap_to_sites(
-    pieces: List[BreakpointPiece],
-    constant: float,
+    backend: KernelBackend,
+    curves: object,
     best_x: float,
     lo: float,
     hi: float,
@@ -129,11 +140,11 @@ def _snap_to_sites(
     site_hi = math.floor(hi + _EPS)
     if site_lo > site_hi:
         return None, math.inf
-    candidates = {min(max(math.floor(best_x), site_lo), site_hi),
-                  min(max(math.ceil(best_x), site_lo), site_hi)}
+    candidates = sorted({min(max(math.floor(best_x), site_lo), site_hi),
+                         min(max(math.ceil(best_x), site_lo), site_hi)})
+    values = backend.evaluate(curves, [float(x) for x in candidates])
     best: Tuple[Optional[float], float] = (None, math.inf)
-    for x in sorted(candidates):
-        value = evaluate_piecewise(pieces, constant, float(x))
+    for x, value in zip(candidates, values):
         if value < best[1] - _EPS:
             best = (float(x), value)
     return best
@@ -144,12 +155,16 @@ def evaluate_insertion_point(
     target: Cell,
     insertion: InsertionPoint,
     config: FOPConfig,
+    backend: Optional[KernelBackend] = None,
 ) -> Tuple[Optional[float], float, ShiftOutcome, InsertionPointWork]:
     """Evaluate one insertion point: shift, build curves, minimize, snap.
 
     Returns ``(best_x, best_cost, shift_outcome, work_record)`` with
-    ``best_x = None`` when the point is infeasible.
+    ``best_x = None`` when the point is infeasible.  ``backend`` lets
+    callers pass an already-resolved kernel backend; otherwise
+    ``config.backend`` is resolved per call.
     """
+    backend = backend or resolve_backend(config.backend)
     outcome = config.shifter.shift(region, target, insertion)
     work = InsertionPointWork(
         n_local_cells=len(region.local_cells),
@@ -166,17 +181,20 @@ def evaluate_insertion_point(
     if not outcome.feasible:
         return None, math.inf, outcome, work
 
-    pieces, constant = build_curves(
+    curves = backend.build_curves(
         region, target, insertion.bottom_row, outcome, config.vertical_cost_factor
     )
-    minimizer = minimize_curves_fwd_bwd if config.use_fwd_bwd_pipeline else minimize_curves
-    evaluation = minimizer(
-        pieces, constant, outcome.xt_lo, outcome.xt_hi, preferred_x=target.gp_x
+    evaluation = backend.minimize(
+        curves,
+        outcome.xt_lo,
+        outcome.xt_hi,
+        preferred_x=target.gp_x,
+        fwd_bwd=config.use_fwd_bwd_pipeline,
     )
     work.n_breakpoints = evaluation.n_breakpoints
     work.n_merged_breakpoints = evaluation.n_merged
     best_x, best_cost = _snap_to_sites(
-        pieces, constant, evaluation.best_x, outcome.xt_lo, outcome.xt_hi
+        backend, curves, evaluation.best_x, outcome.xt_lo, outcome.xt_hi
     )
     if best_x is None:
         work.feasible = False
@@ -196,6 +214,7 @@ def find_optimal_position(
     per evaluated insertion point; the caller owns the record.
     """
     config = config or FOPConfig()
+    backend = resolve_backend(config.backend)
     config.shifter.prepare(region)
     result = FOPResult(feasible=False)
     for bottom_row in candidate_bottom_rows(region, target):
@@ -204,7 +223,7 @@ def find_optimal_position(
         )
         for insertion in points:
             best_x, cost, outcome, ip_work = evaluate_insertion_point(
-                region, target, insertion, config
+                region, target, insertion, config, backend
             )
             result.n_points_evaluated += 1
             if work is not None:

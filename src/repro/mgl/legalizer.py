@@ -20,15 +20,17 @@ quality-relevant machinery.
 
 from __future__ import annotations
 
+import copy
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.geometry.cell import Cell
 from repro.geometry.interval import Interval, gaps_between, intersect_interval_lists
 from repro.geometry.layout import Layout
 from repro.geometry.row import legal_bottom_rows
+from repro.kernels import BackendSpec, resolve_backend
 from repro.legality.metrics import DisplacementStats, PlacementMetrics
 from repro.mgl.fop import FOPConfig, find_optimal_position
 from repro.mgl.local_region import build_local_region, initial_window, region_transfer_words
@@ -78,7 +80,12 @@ class MGLLegalizer:
     ----------
     fop_config:
         FOP kernel configuration (shifter choice, pipeline organisation,
-        vertical cost factor).
+        vertical cost factor, kernel backend).
+    backend:
+        Convenience override of the kernel backend (:mod:`repro.kernels`
+        name or instance).  When given it is applied to ``fop_config``
+        and — when the shifter supports it — to the shifter, so a single
+        argument switches every kernel of the run.
     ordering:
         Processing-ordering function; defaults to size-descending.
     window_width_factor / window_min_width / window_extra_rows:
@@ -97,6 +104,7 @@ class MGLLegalizer:
         self,
         fop_config: Optional[FOPConfig] = None,
         *,
+        backend: BackendSpec = None,
         ordering: Optional[OrderingFn] = None,
         window_width_factor: float = 5.0,
         window_min_width: float = 24.0,
@@ -106,7 +114,16 @@ class MGLLegalizer:
         metrics: Optional[PlacementMetrics] = None,
         algorithm_name: str = "mgl",
     ) -> None:
-        self.fop_config = fop_config or FOPConfig()
+        config = fop_config or FOPConfig()
+        if backend is not None:
+            # Never write through to a caller-owned config or shifter: a
+            # config shared between legalizers must keep its own backend.
+            shifter = config.shifter
+            if hasattr(shifter, "set_backend"):
+                shifter = copy.copy(shifter)
+                shifter.set_backend(backend)
+            config = replace(config, backend=backend, shifter=shifter)
+        self.fop_config = config
         self.ordering: OrderingFn = ordering or size_descending_order
         self.window_width_factor = window_width_factor
         self.window_min_width = window_min_width
@@ -126,6 +143,7 @@ class MGLLegalizer:
             design_name=layout.name,
             algorithm=self.algorithm_name,
             shift_algorithm=getattr(self.fop_config.shifter, "name", "original"),
+            kernel_backend=resolve_backend(self.fop_config.backend).name,
             num_cells=len(layout.cells),
             num_movable=len(layout.movable_cells()),
         )

@@ -144,6 +144,11 @@ class LegalizationTrace:
     """Which cell-shifting engine recorded the per-insertion-point visit
     counts (``"original"`` or ``"sacs"``); the FPGA cycle models need this
     to translate visit counts when modeling the other engine."""
+    kernel_backend: str = "python"
+    """Which :mod:`repro.kernels` backend executed the numeric hot paths
+    when the trace was recorded.  Backends are bit-for-bit equivalent, so
+    the recorded work is backend-independent; the field lets benchmark
+    and experiment reports label measured wall times per backend."""
     num_cells: int = 0
     num_movable: int = 0
     # Step (a): input & pre-move — one unit of work per movable cell.
@@ -232,6 +237,8 @@ class LegalizationTrace:
         merged = LegalizationTrace(
             design_name=self.design_name,
             algorithm=self.algorithm,
+            shift_algorithm=self.shift_algorithm,
+            kernel_backend=self.kernel_backend,
             num_cells=self.num_cells + other.num_cells,
             num_movable=self.num_movable + other.num_movable,
             premove_cells=self.premove_cells + other.premove_cells,
@@ -245,7 +252,8 @@ class LegalizationTrace:
     def summary(self) -> str:
         """One-line description of the recorded work."""
         return (
-            f"{self.design_name}/{self.algorithm}: {len(self.targets)} targets, "
+            f"{self.design_name}/{self.algorithm}"
+            f"[{self.shift_algorithm}/{self.kernel_backend}]: {len(self.targets)} targets, "
             f"{self.total_insertion_points} insertion points, "
             f"{self.total_shift_visits} shift visits, "
             f"{self.total_breakpoints} breakpoints"

@@ -1,0 +1,35 @@
+"""Shared configuration of the benchmark harness (``benchmarks/``).
+
+Lives inside the package (rather than in ``benchmarks/conftest.py``)
+so that benchmark modules can import it with an absolute import and the
+``tests``/``benchmarks`` trees can be collected in one pytest run
+without conftest-module shadowing.
+
+The benchmark scale can be adjusted through the ``REPRO_BENCH_SCALE``
+environment variable (default 0.002 — about 60–260 cells per design).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Cell-count scale of the benchmark designs relative to the published sizes.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+#: Seed used for benchmark design generation (deterministic).
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2017"))
+#: Benchmarks used by the figure regenerations (Table 1 uses all 16).
+FIGURE_NAMES = [
+    "des_perf_1",
+    "des_perf_b_md1",
+    "edit_dist_a_md3",
+    "fft_a_md2",
+    "pci_b_a_md2",
+    "pci_b_b_md3",
+]
+
+__all__ = ["BENCH_SCALE", "BENCH_SEED", "FIGURE_NAMES", "run_once"]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

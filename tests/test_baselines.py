@@ -16,7 +16,7 @@ from repro.baselines.analytical import AnalyticalGpuRuntimeModel
 from repro.legality import LegalityChecker
 from repro.mgl import MGLLegalizer
 
-from conftest import small_design
+from repro.testing import small_design
 
 
 def check_legal_for_placed(layout, failed):

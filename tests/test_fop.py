@@ -17,7 +17,7 @@ from repro.mgl.shifting import OriginalShifter
 from repro.mgl.update import commit_placement
 from repro.perf.counters import TargetCellWork
 
-from conftest import add_target, make_layout, region_for
+from repro.testing import add_target, make_layout, region_for
 
 
 # ----------------------------------------------------------------------

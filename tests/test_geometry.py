@@ -24,7 +24,7 @@ from repro.geometry import (
 from repro.geometry.interval import gaps_between, longest_interval, total_length
 from repro.geometry.row import PowerRail, legal_bottom_rows, nearest_legal_row
 
-from conftest import make_layout
+from repro.testing import make_layout
 
 
 # ----------------------------------------------------------------------

@@ -7,7 +7,7 @@ import pytest
 from repro.geometry import Cell, Layout
 from repro.legality import LegalityChecker, PlacementMetrics, ViolationKind
 
-from conftest import make_layout
+from repro.testing import make_layout
 
 
 def _legal_pair() -> Layout:

@@ -13,7 +13,7 @@ from repro.mgl import MGLLegalizer
 from repro.mgl.fop import FOPConfig
 from repro.mgl.legalizer import size_descending_order
 
-from conftest import small_design
+from repro.testing import small_design
 
 
 class TestMGLLegalizer:

@@ -31,7 +31,7 @@ from repro.mgl.shifting import (
     verify_no_overlap,
 )
 
-from conftest import add_target, make_layout, region_for
+from repro.testing import add_target, make_layout, region_for
 
 
 # ----------------------------------------------------------------------
