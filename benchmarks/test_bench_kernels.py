@@ -138,9 +138,19 @@ def test_bench_fop_single_target(benchmark, shifting_case):
 
 
 # ----------------------------------------------------------------------
-# Kernel-backend comparisons (python reference vs vectorized numpy)
+# Kernel-backend comparisons (python reference vs vectorized numpy vs
+# multiprocess sharding)
 # ----------------------------------------------------------------------
+#: Always the live registry — never hard-code backend names here, or new
+#: backends silently stop being benched and equivalence-checked.
 BACKENDS = available_backends()
+
+
+def test_bench_parametrization_tracks_registry():
+    """Guard: the bench matrix must follow the backend registry."""
+    assert BACKENDS == available_backends()
+    assert "python" in BACKENDS
+    assert "multiprocess" in BACKENDS
 
 
 def _dense_region(num_cells=700, density=0.8, seed=11, target_height=2):
@@ -243,6 +253,57 @@ def test_bench_backend_iccad_legalization(benchmark, backend_name):
     result = run_once(benchmark, flex.legalize, layout)
     assert result.legalization.success
     assert result.trace.kernel_backend == backend_name
+
+
+def test_bench_mp_worker_sweep(benchmark):
+    """Measured multiprocess worker sweep on a dense ICCAD-like design.
+
+    Runs the sequential ``numpy`` baseline and the ``multiprocess``
+    backend at several pool sizes on the same dense design, asserts the
+    results are bit-for-bit identical, and records the wall times and
+    speedups both into the pytest-benchmark ``extra_info`` (so they land
+    in ``--benchmark-json`` output) and into ``BENCH_mp_workers.json``
+    in the working directory (uploaded as a CI artifact).  The >1x
+    speedup assertion is gated on the host having at least 4 cores AND
+    the design being large enough (>= scale 0.008) for heavy regions to
+    exist — intra-region chunking cannot beat the sequential baseline on
+    fewer cores or on tiny smoke-scale designs where no region clears
+    the parallelization threshold.
+    """
+    import json
+    import os
+
+    from repro.experiments.scalability import run_worker_scalability
+
+    scale = min(4 * BENCH_SCALE, 0.01)
+    result = run_once(
+        benchmark,
+        run_worker_scalability,
+        "des_perf_1",
+        scale=scale,
+        seed=BENCH_SEED,
+        worker_counts=(2, 4),
+    )
+    print()
+    print(result.format())
+    baseline_row = result.rows[0]
+    mp_rows = result.rows[1:]
+    # Bit-for-bit: every row reports the same quality.
+    assert all(row[5] == baseline_row[5] for row in mp_rows)
+    payload = {
+        "design": "des_perf_1",
+        "cpu_count": os.cpu_count(),
+        "rows": [
+            dict(zip(["backend", "workers", "wall_s", "speedup", "mode", "avedis"], row))
+            for row in result.rows
+        ],
+    }
+    benchmark.extra_info["mp_worker_sweep"] = payload
+    with open("BENCH_mp_workers.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+    if (os.cpu_count() or 1) >= 4 and scale >= 0.008:
+        best = max(row[3] for row in mp_rows if row[1] >= 4)
+        assert best > 1.0, f"expected >1x at 4+ workers on a {os.cpu_count()}-core host"
 
 
 def test_bench_orderings(benchmark):

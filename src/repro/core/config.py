@@ -71,9 +71,10 @@ class FlexConfig:
     kernel_backend: str = "python"
     """Kernel backend executing the host-side numeric hot paths (curve
     construction/minimization and SACS chains): a name registered in
-    :mod:`repro.kernels` (``"python"`` reference or vectorized
-    ``"numpy"``).  Backends are bit-for-bit equivalent, so this only
-    changes measured wall time, never results or recorded work."""
+    :mod:`repro.kernels` (``"python"`` reference, vectorized ``"numpy"``,
+    or process-parallel ``"multiprocess"`` / ``"multiprocess:N"`` with a
+    pinned worker count).  Backends are bit-for-bit equivalent, so this
+    only changes measured wall time, never results or recorded work."""
 
     ordering_window_size: int = 8
     """Size of the sliding window W_s."""
@@ -102,13 +103,15 @@ class FlexConfig:
             raise ValueError("fop_pe_parallelism must be at least 1")
         if self.ordering_window_size < 2:
             raise ValueError("ordering_window_size must be at least 2")
-        from repro.kernels import available_backends
+        from repro.kernels import available_backends, get_kernel_backend
 
-        if self.kernel_backend not in available_backends():
+        try:
+            get_kernel_backend(self.kernel_backend)
+        except KeyError:
             raise ValueError(
                 f"unknown kernel_backend {self.kernel_backend!r}; "
                 f"available: {available_backends()}"
-            )
+            ) from None
         if self.pipeline is PipelineOrganization.MULTI_GRANULARITY and not self.use_sacs:
             raise ValueError(
                 "the multi-granularity pipeline requires SACS: the original "

@@ -55,7 +55,9 @@ class Cell:
     name: str = field(default="")
 
     def __post_init__(self) -> None:
-        if self.width <= 0:
+        if self.width < 0 or (self.width == 0 and not self.fixed):
+            # Fixed markers (zero-footprint blockage pins) may have zero
+            # width; movable cells must occupy at least part of a site.
             raise ValueError(f"cell {self.index}: width must be positive, got {self.width}")
         if self.height < 1 or int(self.height) != self.height:
             raise ValueError(f"cell {self.index}: height must be a positive integer, got {self.height}")

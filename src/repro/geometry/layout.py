@@ -200,6 +200,21 @@ class Layout:
         cell.legalized = True
         self._insert_into_index(cell)
 
+    def unmark_legalized(self, cell: Cell, x: float, y: float, was_legalized: bool = False) -> None:
+        """Revert a :meth:`mark_legalized` call.
+
+        Restores the cell to position ``(x, y)`` and its previous
+        legalization state, keeping the obstacle index consistent.  Used
+        by speculative evaluation (the multiprocess backend's workers
+        undo uncommitted placements before processing the next target).
+        """
+        self._remove_from_index(cell)
+        cell.x = float(x)
+        cell.y = float(y)
+        cell.legalized = bool(was_legalized)
+        if was_legalized:
+            self._insert_into_index(cell)
+
     def move_obstacle(self, cell: Cell, new_x: float) -> None:
         """Horizontally move an already-legalized obstacle cell.
 

@@ -8,9 +8,16 @@ implementations can be swapped without touching the algorithm layer:
 ``python``
     The scalar reference implementation (the oracle).  Always available.
 ``numpy``
-    NumPy-vectorized kernels, bit-for-bit equal to the reference
+    NumPy-vectorized kernels, bit-for-bit equal to the reference,
+    including batched cross-insertion-point scoring
     (:mod:`repro.kernels.numpy_backend`).  Registered only when numpy is
     importable.
+``multiprocess``
+    Host-side process parallelism over the fastest sequential kernels
+    (:mod:`repro.kernels.mp_backend`): static window-disjoint sharding,
+    a speculative wavefront, and intra-region insertion-point chunking,
+    all with deterministic merges.  Accepts a ``"multiprocess:N"``
+    spelling to pin the worker count from string-only configuration.
 
 Selecting a backend
 -------------------
@@ -47,12 +54,27 @@ from repro.kernels.base import KernelBackend
 DEFAULT_BACKEND = "python"
 
 _FACTORIES: Dict[str, Callable[[], KernelBackend]] = {}
+_PARAM_FACTORIES: Dict[str, Callable[[str], KernelBackend]] = {}
 _INSTANCES: Dict[str, KernelBackend] = {}
 
 
-def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
-    """Register a backend factory under ``name`` (overwrites silently)."""
+def register_backend(
+    name: str,
+    factory: Callable[[], KernelBackend],
+    *,
+    parameterized: Optional[Callable[[str], KernelBackend]] = None,
+) -> None:
+    """Register a backend factory under ``name`` (overwrites silently).
+
+    ``parameterized`` optionally accepts ``"name:arg"`` spellings — e.g.
+    ``"multiprocess:4"`` resolves through ``parameterized("4")`` — so
+    string-only configuration surfaces (:class:`~repro.core.config
+    .FlexConfig`, CLI flags, environment files) can select tuned
+    instances without holding object references.
+    """
     _FACTORIES[name] = factory
+    if parameterized is not None:
+        _PARAM_FACTORIES[name] = parameterized
     _INSTANCES.pop(name, None)
 
 
@@ -62,16 +84,30 @@ def available_backends() -> List[str]:
 
 
 def get_kernel_backend(name: str) -> KernelBackend:
-    """Return the shared backend instance registered under ``name``."""
-    try:
-        instance = _INSTANCES.get(name)
-        if instance is None:
-            instance = _INSTANCES[name] = _FACTORIES[name]()
+    """Return the shared backend instance registered under ``name``.
+
+    Accepts plain registry names and parameterized ``"name:arg"``
+    spellings for backends registered with a parameterized factory.
+    """
+    instance = _INSTANCES.get(name)
+    if instance is not None:
         return instance
-    except KeyError:
-        raise KeyError(
-            f"unknown kernel backend {name!r}; available: {available_backends()}"
-        ) from None
+    factory = _FACTORIES.get(name)
+    if factory is not None:
+        instance = _INSTANCES[name] = factory()
+        return instance
+    base, sep, arg = name.partition(":")
+    if sep and base in _PARAM_FACTORIES:
+        try:
+            instance = _INSTANCES[name] = _PARAM_FACTORIES[base](arg)
+        except (TypeError, ValueError):
+            raise KeyError(
+                f"invalid argument {arg!r} for kernel backend {base!r}"
+            ) from None
+        return instance
+    raise KeyError(
+        f"unknown kernel backend {name!r}; available: {available_backends()}"
+    )
 
 
 #: Anything the configuration layer accepts as a backend choice.
@@ -103,10 +139,19 @@ if _numpy_backend.np is not None:
 
 NumpyKernelBackend = _numpy_backend.NumpyKernelBackend
 
+from repro.kernels.mp_backend import MultiprocessKernelBackend  # noqa: E402
+
+register_backend(
+    "multiprocess",
+    MultiprocessKernelBackend,
+    parameterized=lambda arg: MultiprocessKernelBackend(workers=int(arg)),
+)
+
 __all__ = [
     "KernelBackend",
     "PythonKernelBackend",
     "NumpyKernelBackend",
+    "MultiprocessKernelBackend",
     "BackendSpec",
     "DEFAULT_BACKEND",
     "available_backends",

@@ -35,7 +35,7 @@ those tests.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Any, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.sacs import SACSContext
@@ -51,6 +51,20 @@ class KernelBackend(ABC):
 
     #: Registry / configuration name of the backend (``"python"``, ...).
     name: str = "abstract"
+
+    #: True for backends that parallelise whole legalization runs across
+    #: OS processes (see :mod:`repro.kernels.mp_backend`).  Such backends
+    #: additionally implement ``legalize_sharded(legalizer, layout,
+    #: ordered, trace)`` and :class:`~repro.mgl.legalizer.MGLLegalizer`
+    #: hands them the run after pre-move and ordering.
+    supports_layout_parallel: bool = False
+
+    #: True for backends that parallelise the FOP candidate loop *within*
+    #: one localRegion (the paper's FOP-PE axis).  Such backends
+    #: additionally implement ``should_parallelize_fop(region, points)``
+    #: and ``evaluate_points_parallel(region, target, points, config)``;
+    #: :func:`repro.mgl.fop.find_optimal_position` calls them per region.
+    supports_point_parallel: bool = False
 
     # ------------------------------------------------------------------
     # Displacement-curve kernels
@@ -90,6 +104,43 @@ class KernelBackend(ABC):
     @abstractmethod
     def evaluate(self, curves: Any, xs: Sequence[float]) -> List[float]:
         """Exact summed-curve values at each query position in ``xs``."""
+
+    # ------------------------------------------------------------------
+    # Batched cross-insertion-point kernels
+    # ------------------------------------------------------------------
+    # FOP scores every insertion point of a localRegion; the batch entry
+    # points let a backend evaluate the whole candidate population as one
+    # pipeline instead of point by point.  The defaults below delegate to
+    # the scalar methods, so results are bit-for-bit identical for every
+    # backend by construction; vectorized backends override them.
+
+    def minimize_batch(
+        self,
+        curve_sets: Sequence[Any],
+        bounds: Sequence[Tuple[float, float]],
+        *,
+        preferred_x: Optional[float] = None,
+        fwd_bwd: bool = False,
+    ) -> List["CurveEvaluation"]:
+        """Minimize one summed curve per insertion point.
+
+        ``curve_sets[i]`` is scored over ``bounds[i] = (lo, hi)``; the
+        result list is index-aligned with the inputs.
+        """
+        return [
+            self.minimize(curves, lo, hi, preferred_x=preferred_x, fwd_bwd=fwd_bwd)
+            for curves, (lo, hi) in zip(curve_sets, bounds)
+        ]
+
+    def evaluate_batch(
+        self, curve_sets: Sequence[Any], queries: Sequence[Sequence[float]]
+    ) -> List[List[float]]:
+        """Exact summed-curve values per insertion point (snapping step).
+
+        ``queries[i]`` holds the site candidates of curve set ``i``; an
+        empty query list yields an empty value list for that point.
+        """
+        return [self.evaluate(curves, xs) for curves, xs in zip(curve_sets, queries)]
 
     # ------------------------------------------------------------------
     # SACS kernels

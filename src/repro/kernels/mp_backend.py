@@ -1,0 +1,824 @@
+"""Multiprocess sharded kernel backend.
+
+The paper's parallelism argument is that legalization parallelises
+across *independent local regions*: two target cells whose search
+windows never touch cannot influence each other, because every read
+(region extraction, density estimation) and every write (cell shifts,
+the committed target position) stays inside the target's window.  This
+backend turns that observation into a host-side execution engine with
+two strategies, both producing results **bit-for-bit identical** to the
+sequential reference:
+
+**Static sharding** (spread-out designs).  The run's initial search
+windows are grouped into connected components by rectangle overlap and
+packed onto worker processes
+(:func:`repro.core.task_assignment.plan_shards`).  Each worker runs the
+plain sequential legalizer — restricted to its shard's targets, in the
+*global* processing order — on a copy-on-write fork of the layout; the
+parent merges placements and work records back in global order.
+Cross-worker window disjointness makes the merge provably exact.  The
+one hazard is window *expansion* (a retry grows the window, possibly
+into another worker's territory): workers record every target's final
+window, the parent validates them with
+:func:`repro.core.task_assignment.find_escaped_conflicts`, and on any
+cross-worker escape it discards the parallel results and re-runs
+sequentially on the untouched parent layout.
+
+**Speculative wavefront** (dense designs, where every window overlaps
+transitively into one component).  Persistent workers evaluate targets
+optimistically against the committed prefix of the run; the coordinator
+commits results strictly in global processing order and validates each
+result against the commits that landed after its dispatch: if any such
+commit's touched area intersects the target's final window, the result
+is discarded and the target re-evaluated at the commit frontier — where
+acceptance is guaranteed, because nothing can commit past a blocked
+frontier.  Accepted results are therefore always computed on exactly
+the layout state the sequential interleaving would have shown, work
+counters included; speculation only ever costs time, never exactness.
+
+**When sharding loses.**  Process forking, per-target round-trips and
+result pickling cost real time, so small designs — or heavily contended
+dense designs where most speculations get rejected — are faster on the
+plain ``numpy`` backend; :attr:`MultiprocessKernelBackend
+.min_parallel_targets` short-circuits tiny runs to the sequential inner
+backend, and ``shard_stats`` in the trace records the rejection rate so
+sweeps can see where the crossover sits.
+
+The kernel-level methods (curves, minimization, SACS chains) delegate to
+the inner sequential backend, so ``"multiprocess"`` is also a valid
+drop-in kernel backend for per-region work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.kernels.base import KernelBackend
+
+#: Environment variable overriding the default worker count (used by the
+#: CI equivalence matrix to sweep pool sizes without code changes).
+WORKERS_ENV_VAR = "REPRO_MP_WORKERS"
+
+
+def default_worker_count() -> int:
+    """Worker-pool size: ``$REPRO_MP_WORKERS`` or ``min(8, cpu_count)``."""
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env:
+        return max(1, int(env))
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+#: Fork-inherited worker state; set by the parent immediately before its
+#: pool/processes fork so children read it without pickling the layout.
+#: Static sharding uses ``(layout, legalizer, shards)``; the wavefront
+#: uses ``(layout, legalizer, None)``.
+_WORKER_STATE: Optional[Tuple[Any, Any, Optional[List[List[int]]]]] = None
+
+
+def _execute_shard(layout, legalizer, cell_indices: Sequence[int]):
+    """Run the sequential legalizer over one static shard's targets.
+
+    Returns ``(works, failed, placements)`` where ``placements`` holds
+    ``(cell_index, x, y)`` for every legalized cell of the worker's
+    layout copy (the parent keeps only the entries that changed).
+    """
+    works = []
+    failed: List[int] = []
+    for index in cell_indices:
+        target = layout.cells[index]
+        if target.legalized:
+            continue
+        placed, work = legalizer._legalize_cell(layout, target)
+        works.append(work)
+        if not placed:
+            failed.append(index)
+    placements = [
+        (cell.index, cell.x, cell.y)
+        for cell in layout.cells
+        if cell.legalized and not cell.fixed
+    ]
+    return works, failed, placements
+
+
+def _run_shard(shard_index: int):
+    """Pool entry point: execute one static shard against forked state."""
+    assert _WORKER_STATE is not None, "worker state not initialised before fork"
+    layout, legalizer, shards = _WORKER_STATE
+    assert shards is not None
+    return _execute_shard(layout, legalizer, shards[shard_index])
+
+
+def _apply_commits(layout, commits, move_fn=None, place_fn=None) -> None:
+    """Replay committed mutations onto a layout.
+
+    ``commits`` entries are ``("move", cell_index, new_x)`` or
+    ``("place", cell_index, x, y)``; the optional function overrides let
+    the wavefront worker bypass its own recording wrappers.
+    """
+    move_fn = move_fn or layout.move_obstacle
+    place_fn = place_fn or layout.mark_legalized
+    for entry in commits:
+        if entry[0] == "move":
+            move_fn(layout.cells[entry[1]], entry[2])
+        else:
+            place_fn(layout.cells[entry[1]], entry[2], entry[3])
+
+
+#: Transport field order of :class:`repro.perf.counters.InsertionPointWork`
+#: (tuples pickle several times faster than dataclass instances).
+_WORK_FIELDS = (
+    "n_local_cells",
+    "n_subcells",
+    "shift_passes",
+    "shift_cell_visits",
+    "chain_left",
+    "chain_right",
+    "n_breakpoints",
+    "n_merged_breakpoints",
+    "sort_size",
+    "multirow_accesses",
+    "tall_accesses",
+    "feasible",
+)
+
+
+def _encode_work(work) -> Tuple:
+    return tuple(getattr(work, field) for field in _WORK_FIELDS)
+
+
+def _decode_work(values: Tuple):
+    from repro.perf.counters import InsertionPointWork
+
+    return InsertionPointWork(**dict(zip(_WORK_FIELDS, values)))
+
+
+def _point_worker(conn) -> None:
+    """Persistent stateless worker evaluating insertion-point chunks.
+
+    Receives a pickled ``(region, target, params)`` broadcast blob
+    followed by its point chunk, and returns one ``(best_x, cost,
+    work_tuple)`` triple per point, produced by the exact sequential FOP
+    stages (:func:`repro.mgl.fop.evaluate_point_list`).  The worker
+    holds no layout state, so one pool serves every region of every run.
+    """
+    import pickle
+
+    from repro.core.sacs import SortAheadShifter
+    from repro.kernels import get_kernel_backend
+    from repro.mgl.fop import FOPConfig, evaluate_point_list
+    from repro.mgl.shifting import OriginalShifter
+
+    try:
+        while True:
+            blob = conn.recv_bytes()
+            if not blob:
+                return
+            region, target, params = pickle.loads(blob)
+            points = conn.recv()
+            backend = get_kernel_backend(params["inner"])
+            shifter = (
+                SortAheadShifter(backend=backend)
+                if params["sacs"]
+                else OriginalShifter()
+            )
+            config = FOPConfig(
+                shifter=shifter,
+                use_fwd_bwd_pipeline=params["fwd_bwd"],
+                vertical_cost_factor=params["vcf"],
+                backend=backend,
+            )
+            shifter.prepare(region)
+            scored = evaluate_point_list(region, target, points, config, backend)
+            conn.send(
+                [(best_x, cost, _encode_work(work)) for _, best_x, cost, _, work in scored]
+            )
+    except EOFError:  # pragma: no cover - parent died
+        return
+    finally:
+        conn.close()
+
+
+def _wavefront_worker(conn) -> None:
+    """Persistent speculative worker: evaluate targets, report, undo.
+
+    The worker's layout mirrors the *committed* state of the run: every
+    request carries the commit delta since this worker's last sync, and
+    the worker's own speculative mutations are undone after reporting.
+    """
+    assert _WORKER_STATE is not None, "worker state not initialised before fork"
+    layout, legalizer, _ = _WORKER_STATE
+    recording: List[Tuple] = []
+    orig_move = layout.move_obstacle
+    orig_mark = layout.mark_legalized
+
+    def recording_move(cell, new_x):
+        recording.append(("move", cell.index, cell.x, float(new_x)))
+        orig_move(cell, new_x)
+
+    def recording_mark(cell, x, y):
+        recording.append(
+            ("place", cell.index, cell.x, cell.y, cell.legalized, float(x), float(y))
+        )
+        orig_mark(cell, x, y)
+
+    layout.move_obstacle = recording_move
+    layout.mark_legalized = recording_mark
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            target_index, commit_delta = message
+            _apply_commits(layout, commit_delta, move_fn=orig_move, place_fn=orig_mark)
+            recording.clear()
+            placed, work = legalizer._legalize_cell(layout, layout.cells[target_index])
+            commits = [
+                ("move", entry[1], entry[3])
+                if entry[0] == "move"
+                else ("place", entry[1], entry[5], entry[6])
+                for entry in recording
+            ]
+            for entry in reversed(recording):
+                cell = layout.cells[entry[1]]
+                if entry[0] == "move":
+                    orig_move(cell, entry[2])
+                else:
+                    layout.unmark_legalized(cell, entry[2], entry[3], entry[4])
+            recording.clear()
+            conn.send((target_index, placed, work, commits))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+class MultiprocessKernelBackend(KernelBackend):
+    """Shards legalization runs across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``$REPRO_MP_WORKERS`` or
+        ``min(8, cpu_count)``.  Results never depend on the worker count.
+    inner:
+        Sequential backend executing the numeric kernels inside each
+        worker (and for all per-region delegation).  Defaults to
+        ``"numpy"`` when available, else ``"python"``.
+    use_processes:
+        When False the static shards execute serially in-process on
+        layout copies — the identical partition/merge/validation
+        machinery without any :mod:`multiprocessing`, used by the
+        property-based shard-invariant tests (and as the automatic
+        fallback on platforms without ``fork``).
+    min_parallel_targets:
+        Runs with fewer pending targets go straight to the sequential
+        inner backend (sharding overhead would dominate).
+    strategy:
+        ``"auto"`` (default) picks static sharding when the window
+        components split well and the speculative wavefront otherwise;
+        ``"static"`` / ``"wavefront"`` force one engine.
+    """
+
+    name = "multiprocess"
+    supports_layout_parallel = True
+    supports_point_parallel = True
+
+    #: ``auto``: use static sharding only when no shard exceeds this
+    #: fraction of the run (otherwise one worker does nearly everything).
+    STATIC_BALANCE_LIMIT = 0.6
+
+    #: Intra-region parallelism thresholds: a region's FOP is farmed out
+    #: only when it enumerates at least this many candidate points and
+    #: the points x localCells product clears the work floor (below that
+    #: the region/points round-trip costs more than the evaluation).
+    POINT_PARALLEL_MIN_POINTS = 96
+    POINT_PARALLEL_MIN_WORK = 20_000
+    #: Per-region worker-side overhead (region unpickle, context rebuild,
+    #: wakeup) as a fraction of one equal chunk's compute; the parent's
+    #: share is biased up by this amount so parent and workers finish
+    #: together.
+    POINT_PARALLEL_OVERHEAD = 0.25
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        inner: Optional[object] = None,
+        *,
+        use_processes: bool = True,
+        min_parallel_targets: int = 8,
+        strategy: str = "auto",
+    ) -> None:
+        from repro.kernels import available_backends, resolve_backend
+
+        if inner is None:
+            inner = "numpy" if "numpy" in available_backends() else "python"
+        self.inner = resolve_backend(inner)
+        if self.inner.supports_layout_parallel:
+            raise ValueError("inner backend must be a sequential kernel backend")
+        self.workers = default_worker_count() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if strategy not in ("auto", "static", "wavefront"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.use_processes = use_processes
+        self.min_parallel_targets = min_parallel_targets
+        self.strategy = strategy
+        #: Shard statistics of the most recent run (also recorded in the
+        #: trace); useful for benchmarks and reports.
+        self.last_shard_stats: Optional[Dict[str, Any]] = None
+        self._point_pool: Optional[List] = None
+        self._point_parallel_regions = 0
+
+    # ------------------------------------------------------------------
+    # Kernel-level delegation (per-region work is sequential)
+    # ------------------------------------------------------------------
+    def build_curves(self, region, target, bottom_row, outcome, vertical_cost_factor):
+        return self.inner.build_curves(
+            region, target, bottom_row, outcome, vertical_cost_factor
+        )
+
+    def minimize(self, curves, lo, hi, *, preferred_x=None, fwd_bwd=False):
+        return self.inner.minimize(
+            curves, lo, hi, preferred_x=preferred_x, fwd_bwd=fwd_bwd
+        )
+
+    def evaluate(self, curves, xs):
+        return self.inner.evaluate(curves, xs)
+
+    def minimize_batch(self, curve_sets, bounds, *, preferred_x=None, fwd_bwd=False):
+        return self.inner.minimize_batch(
+            curve_sets, bounds, preferred_x=preferred_x, fwd_bwd=fwd_bwd
+        )
+
+    def evaluate_batch(self, curve_sets, queries):
+        return self.inner.evaluate_batch(curve_sets, queries)
+
+    def build_sacs_context(self, region):
+        return self.inner.build_sacs_context(region)
+
+    def shift_sacs(self, region, target, insertion, context):
+        return self.inner.shift_sacs(region, target, insertion, context)
+
+    # ------------------------------------------------------------------
+    # Intra-region insertion-point parallelism (the paper's FOP-PE axis)
+    # ------------------------------------------------------------------
+    def should_parallelize_fop(self, region, points) -> bool:
+        """Farm out only regions whose FOP dwarfs the shipping cost."""
+        if self.workers < 2 or not self.use_processes or not _fork_available():
+            return False
+        n_points = len(points)
+        return (
+            n_points >= self.POINT_PARALLEL_MIN_POINTS
+            and n_points * max(1, len(region.local_cells))
+            >= self.POINT_PARALLEL_MIN_WORK
+        )
+
+    def evaluate_points_parallel(self, region, target, points, config):
+        """Chunk one region's candidate loop across the worker pool.
+
+        The parent evaluates one chunk itself (no idle coordinator, and
+        the chunk holding the region's first point keeps the parent
+        shifter's once-per-region sort report); workers run the exact
+        sequential FOP stages on theirs, against a region blob that is
+        pickled once and broadcast.  Chunks are dealt round-robin so
+        systematically expensive stretches of the enumeration spread
+        across workers, and the reassembled results are index-aligned
+        with ``points`` — work records match the sequential
+        single-context run bit for bit.  Shift outcomes of worker points
+        are not shipped back (the caller re-derives the winner's);
+        unknown shifter types fall back to the sequential path.
+        """
+        import pickle
+
+        from repro.core.sacs import SortAheadShifter
+        from repro.mgl.fop import evaluate_point_list
+        from repro.mgl.shifting import OriginalShifter
+
+        if isinstance(config.shifter, SortAheadShifter):
+            sacs = True
+        elif isinstance(config.shifter, OriginalShifter):
+            sacs = False
+        else:
+            return evaluate_point_list(region, target, points, config, self)
+        pool = self._ensure_point_pool()
+        # Chunk 0 runs in-parent; cap the fan-out at the physical core
+        # count — oversubscribing cores only adds scheduling noise, and
+        # results are chunking-independent anyway.
+        n_chunks = max(2, min(len(pool) + 1, os.cpu_count() or 2, len(points)))
+        n_chunks = min(n_chunks, len(points))
+        # Deal the points into fine stride groups and give the parent a
+        # biased share: workers pay the region unpickle / context rebuild
+        # / wakeup latency, so equal shares would leave the parent idle
+        # at the end of every region.
+        n_groups = 8 * n_chunks
+        groups = [list(points[i::n_groups]) for i in range(n_groups)]
+        parent_groups = min(
+            n_groups - (n_chunks - 1),
+            max(1, round(n_groups * (1.0 + self.POINT_PARALLEL_OVERHEAD) / n_chunks)),
+        )
+        shares: List[List[int]] = [list(range(parent_groups))]
+        remaining = list(range(parent_groups, n_groups))
+        n_workers_used = n_chunks - 1
+        for w in range(n_workers_used):
+            shares.append(remaining[w::n_workers_used])
+        params = {
+            "inner": self.inner.name,
+            "sacs": sacs,
+            "fwd_bwd": config.use_fwd_bwd_pipeline,
+            "vcf": config.vertical_cost_factor,
+        }
+        blob = pickle.dumps((region, target, params), pickle.HIGHEST_PROTOCOL)
+        for (_process, conn), share in zip(pool, shares[1:]):
+            conn.send_bytes(blob)
+            conn.send([p for g in share for p in groups[g]])
+        self._point_parallel_regions += 1
+
+        results: List[Optional[Tuple]] = [None] * len(points)
+
+        def place(share, scored):
+            pos = 0
+            for g in share:
+                size = len(groups[g])
+                results[g::n_groups] = scored[pos : pos + size]
+                pos += size
+
+        place(
+            shares[0],
+            evaluate_point_list(
+                region, target, [p for g in shares[0] for p in groups[g]], config, self
+            ),
+        )
+        for (_process, conn), share in zip(pool, shares[1:]):
+            part = conn.recv()
+            decoded = [
+                (insertion, best_x, cost, None, _decode_work(work))
+                for insertion, (best_x, cost, work) in zip(
+                    (p for g in share for p in groups[g]), part
+                )
+            ]
+            if decoded:
+                # Each worker built a fresh SACS context, so each chunk's
+                # first point carries a sort report; sequentially only the
+                # region's very first point (in the parent's chunk) does.
+                decoded[0][4].sort_size = 0
+            place(share, decoded)
+        return results
+
+    def _ensure_point_pool(self):
+        if self._point_pool is None:
+            ctx = multiprocessing.get_context("fork")
+            pool = []
+            for _ in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_point_worker, args=(child_conn,), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                pool.append((process, parent_conn))
+            self._point_pool = pool
+            import atexit
+
+            atexit.register(self.close)
+        return self._point_pool
+
+    def close(self) -> None:
+        """Shut down the persistent point-parallel worker pool."""
+        pool, self._point_pool = self._point_pool, None
+        if not pool:
+            return
+        for process, conn in pool:
+            try:
+                conn.send_bytes(b"")  # empty blob = shutdown
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            conn.close()
+        for process, _conn in pool:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1.0)
+
+    # ------------------------------------------------------------------
+    # Layout-level sharded execution
+    # ------------------------------------------------------------------
+    def legalize_sharded(self, legalizer, layout, ordered, trace) -> List[int]:
+        """Legalize ``ordered`` targets of ``layout``, sharded over workers.
+
+        Called by :meth:`repro.mgl.legalizer.MGLLegalizer.legalize` after
+        pre-move and ordering; fills ``trace`` exactly like the
+        sequential path and returns the failed cell indices.
+        """
+        stats: Dict[str, Any] = {
+            "inner_backend": self.inner.name,
+            "workers": self.workers,
+            "mode": "sequential",
+            "sequential_rerun": False,
+            "escaped_targets": 0,
+            "speculation_rejects": 0,
+        }
+        self.last_shard_stats = stats
+        trace.shard_stats = stats
+        self._point_parallel_regions = 0
+        try:
+            return self._legalize_sharded_impl(legalizer, layout, ordered, trace, stats)
+        finally:
+            stats["point_parallel_regions"] = self._point_parallel_regions
+            # Report the processes that actually executed FOP work: 1 for
+            # runs that short-circuited to the sequential path end to end
+            # (and for the in-process test mode, which forks nothing).
+            pool_ran = (
+                stats["mode"] in ("static", "wavefront")
+                or self._point_parallel_regions > 0
+            )
+            trace.worker_count = self.workers if pool_ran else 1
+
+    def _legalize_sharded_impl(self, legalizer, layout, ordered, trace, stats) -> List[int]:
+        from repro.core.task_assignment import plan_shards
+
+        n_workers = min(self.workers, max(1, len(ordered)))
+        parallel_viable = (
+            n_workers > 1
+            and len(ordered) >= self.min_parallel_targets
+            and (not self.use_processes or _fork_available())
+        )
+        if not parallel_viable:
+            return legalizer._legalize_ordered(layout, ordered, trace)
+
+        plan = plan_shards(layout, ordered, n_workers, **legalizer.window_params())
+        stats.update(plan.stats())
+
+        largest = max((len(s) for s in plan.shards), default=0)
+        static_splits_well = (
+            plan.parallelism() >= 2
+            and largest <= self.STATIC_BALANCE_LIMIT * len(ordered)
+        )
+        if self.strategy == "static" or not self.use_processes:
+            engine = "static"
+        elif self.strategy == "wavefront":
+            engine = "wavefront"
+        else:
+            # auto: shard statically when the windows split into balanced
+            # independent groups; otherwise drive sequentially and let
+            # the intra-region point-parallel hook carry the heavy
+            # regions (dense designs serialise both across-region modes,
+            # exactly the paper's Sec. 5.4 observation about CPU
+            # region-level threading).
+            engine = "static" if static_splits_well else "points"
+
+        if engine == "points":
+            stats["mode"] = "point-parallel"
+            return legalizer._legalize_ordered(layout, ordered, trace)
+        worker_legalizer = legalizer.with_backend(self.inner)
+        if engine == "static":
+            if plan.parallelism() <= 1:
+                # One connected component: nothing to shard statically.
+                stats["mode"] = "point-parallel"
+                return legalizer._legalize_ordered(layout, ordered, trace)
+            return self._run_static(
+                legalizer, layout, worker_legalizer, ordered, trace, plan, stats
+            )
+        return self._run_wavefront(layout, worker_legalizer, ordered, trace, stats)
+
+    # ------------------------------------------------------------------
+    # Static sharding engine
+    # ------------------------------------------------------------------
+    def _run_static(self, legalizer, layout, worker_legalizer, ordered, trace, plan, stats):
+        stats["mode"] = "static" if self.use_processes else "in-process"
+        shard_results = self._execute_shards(layout, worker_legalizer, plan.shards)
+
+        conflicts = self._validate_static(plan, shard_results)
+        stats["escaped_targets"] = len(conflicts)
+        if conflicts:
+            # A window expansion crossed into another worker: the parallel
+            # results may differ from the sequential interleaving.  The
+            # parent layout is untouched, so the deterministic answer is
+            # one sequential pass over the original input.
+            stats["sequential_rerun"] = True
+            return legalizer._legalize_ordered(layout, ordered, trace)
+        return self._merge_static(layout, ordered, trace, shard_results)
+
+    def _execute_shards(self, layout, worker_legalizer, shards):
+        """Run every static shard, in parallel processes or in-process."""
+        global _WORKER_STATE
+        if not self.use_processes or not _fork_available():
+            return [
+                _execute_shard(layout.copy(), worker_legalizer, shard)
+                for shard in shards
+            ]
+        n_procs = max(1, sum(1 for shard in shards if shard))
+        ctx = multiprocessing.get_context("fork")
+        _WORKER_STATE = (layout, worker_legalizer, list(shards))
+        try:
+            with ctx.Pool(processes=n_procs) as pool:
+                return pool.map(_run_shard, range(len(shards)))
+        finally:
+            _WORKER_STATE = None
+
+    @staticmethod
+    def _validate_static(plan, shard_results) -> List[int]:
+        """Cross-worker escape check over the windows actually used."""
+        from repro.core.task_assignment import TargetWindowRect, find_escaped_conflicts
+
+        final_windows: Dict[int, TargetWindowRect] = {}
+        for works, _failed, _placements in shard_results:
+            for work in works:
+                rect = work.final_window
+                if rect is None:  # pragma: no cover - defensive
+                    rect = (0.0, float("inf"), 0, 1 << 30)
+                final_windows[work.cell_index] = TargetWindowRect(
+                    work.cell_index, rect[0], rect[1], rect[2], rect[3]
+                )
+        return find_escaped_conflicts(plan, final_windows)
+
+    @staticmethod
+    def _merge_static(layout, ordered, trace, shard_results) -> List[int]:
+        """Apply shard placements and rebuild the trace in global order."""
+        updates: Dict[int, Tuple[float, float]] = {}
+        works_by_cell = {}
+        failed_set = set()
+        for works, failed, placements in shard_results:
+            for work in works:
+                works_by_cell[work.cell_index] = work
+            failed_set.update(failed)
+            for index, x, y in placements:
+                cell = layout.cells[index]
+                if not cell.legalized or cell.x != x or cell.y != y:
+                    updates[index] = (x, y)
+        for index, (x, y) in updates.items():
+            cell = layout.cells[index]
+            cell.x = x
+            cell.y = y
+            cell.legalized = True
+        layout.rebuild_index()
+
+        failed: List[int] = []
+        for target in ordered:
+            work = works_by_cell.get(target.index)
+            if work is None:
+                continue
+            trace.add_target(work)
+            trace.region_build_ops += work.region_transfer_words
+            trace.update_ops += work.update_moved_cells + 1
+            if target.index in failed_set:
+                failed.append(target.index)
+        return failed
+
+    # ------------------------------------------------------------------
+    # Speculative wavefront engine
+    # ------------------------------------------------------------------
+    def _run_wavefront(self, layout, worker_legalizer, ordered, trace, stats):
+        from repro.core.task_assignment import TargetWindowRect
+
+        stats["mode"] = "wavefront"
+        targets = [cell.index for cell in ordered if not cell.legalized]
+        n = len(targets)
+        n_workers = min(self.workers, n)
+
+        global _WORKER_STATE
+        ctx = multiprocessing.get_context("fork")
+        _WORKER_STATE = (layout, worker_legalizer, None)
+        workers = []
+        try:
+            for _ in range(n_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_wavefront_worker, args=(child_conn,), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                workers.append([process, parent_conn, None])  # [proc, conn, rank]
+        finally:
+            _WORKER_STATE = None
+
+        #: Commit log: one entry per accepted target, ``(hazard_rects,
+        #: commits)`` in global processing order.  ``hazard_rects`` holds
+        #: one rectangle per position the commit touched (old and new spot
+        #: of every moved cell) — a rect *list*, not a bounding box: a
+        #: premove position far from the final placement must not smear
+        #: the hazard area across the chip.
+        commit_log: List[Tuple[List[TargetWindowRect], List[Tuple]]] = []
+        #: Never speculate more than this many ranks past the commit
+        #: frontier: deeper results are near-certain to be invalidated by
+        #: the commits that must land before their turn, so evaluating
+        #: them early only burns a second evaluation.
+        max_depth = n_workers + 2
+        sync_pos = [0] * n_workers  # commit-log position each worker has seen
+        sent_pos: Dict[int, int] = {}  # rank -> log position at dispatch
+        buffered: Dict[int, Tuple] = {}  # rank -> (placed, work, commits)
+        retry_rank: Optional[int] = None
+        next_dispatch = 0
+        frontier = 0
+        failed: List[int] = []
+        rejects = 0
+
+        def hazard_rects_of(work, commits) -> List[TargetWindowRect]:
+            """One rectangle per position a commit touched (old and new)."""
+            rects: List[TargetWindowRect] = []
+
+            def add(x, y, width, height):
+                rects.append(
+                    TargetWindowRect(
+                        work.cell_index, x, x + width, int(y), -int(-(y + height))
+                    )
+                )
+
+            for entry in commits:
+                cell = layout.cells[entry[1]]
+                if entry[0] == "move":
+                    add(cell.x, cell.y, cell.width, cell.height)  # old spot
+                    add(entry[2], cell.y, cell.width, cell.height)  # new spot
+                else:
+                    add(cell.x, cell.y, cell.width, cell.height)  # pre-move spot
+                    add(entry[2], entry[3], cell.width, cell.height)  # placement
+            return rects
+
+        def dispatch(worker_id: int) -> bool:
+            nonlocal next_dispatch, retry_rank
+            if retry_rank is not None:
+                rank = retry_rank
+                retry_rank = None
+            elif next_dispatch < n and next_dispatch < frontier + max_depth:
+                rank = next_dispatch
+                next_dispatch += 1
+            else:
+                return False
+            delta = [
+                move
+                for _, commits in commit_log[sync_pos[worker_id] :]
+                for move in commits
+            ]
+            sync_pos[worker_id] = len(commit_log)
+            sent_pos[rank] = len(commit_log)
+            workers[worker_id][1].send((targets[rank], delta))
+            workers[worker_id][2] = rank
+            return True
+
+        try:
+            while frontier < n:
+                for worker_id, state in enumerate(workers):
+                    if state[2] is None:
+                        dispatch(worker_id)
+                busy = [state[1] for state in workers if state[2] is not None]
+                if not busy:  # pragma: no cover - defensive
+                    raise RuntimeError("wavefront stalled with work pending")
+                for conn in mp_connection.wait(busy):
+                    target_index, placed, work, commits = conn.recv()
+                    for state in workers:
+                        if state[1] is conn:
+                            buffered[state[2]] = (placed, work, commits)
+                            state[2] = None
+                            break
+                while frontier in buffered:
+                    placed, work, commits = buffered.pop(frontier)
+                    rect = work.final_window
+                    window = TargetWindowRect(
+                        work.cell_index, rect[0], rect[1], rect[2], rect[3]
+                    )
+                    hazard = any(
+                        window.overlaps(rect)
+                        for rects, _ in commit_log[sent_pos[frontier] :]
+                        for rect in rects
+                    )
+                    if hazard:
+                        # Stale state: re-evaluate at the frontier, where
+                        # no further commits can intrude.
+                        rejects += 1
+                        retry_rank = frontier
+                        break
+                    commit_rects = hazard_rects_of(work, commits)
+                    _apply_commits(layout, commits)
+                    commit_log.append((commit_rects, commits))
+                    trace.add_target(work)
+                    trace.region_build_ops += work.region_transfer_words
+                    trace.update_ops += work.update_moved_cells + 1
+                    if not placed:
+                        failed.append(work.cell_index)
+                    frontier += 1
+        finally:
+            for process, conn, _rank in workers:
+                try:
+                    conn.send(None)
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+                conn.close()
+            for process, _conn, _rank in workers:
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+                    process.join(timeout=1.0)
+
+        stats["speculation_rejects"] = rejects
+        stats["commits"] = len(commit_log)
+        return failed

@@ -291,6 +291,212 @@ class NumpyKernelBackend(KernelBackend):
         return minimizer(pieces, constant, lo, hi, preferred_x=preferred_x)
 
     # ------------------------------------------------------------------
+    # Batched cross-insertion-point minimization
+    # ------------------------------------------------------------------
+    def minimize_batch(
+        self,
+        curve_sets: Sequence[Any],
+        bounds: Sequence[Tuple[float, float]],
+        *,
+        preferred_x: Optional[float] = None,
+        fwd_bwd: bool = False,
+    ) -> List[CurveEvaluation]:
+        """Score all insertion points of a region as one array pipeline.
+
+        Every vector-eligible curve set (a :class:`CurveArrays` with at
+        least one piece and no near-duplicate breakpoints) is padded into
+        one ``(points, pieces)`` array family; a single stable argsort, a
+        single flattened ``reduceat`` merge and per-row ``accumulate``
+        prefix folds then replay, per row, exactly the float operations
+        of :meth:`minimize` — trailing zero pads only ever append exact
+        ``+ 0.0`` terms, so values are unchanged.  Small scalar curve
+        sets and pathological rows fall back to the per-point paths.
+        """
+        results: List[Optional[CurveEvaluation]] = [None] * len(curve_sets)
+        vector_rows: List[int] = []
+        for i, (curves, (lo, hi)) in enumerate(zip(curve_sets, bounds)):
+            if isinstance(curves, CurveArrays) and len(curves) > 0:
+                if hi < lo - _EPS:
+                    raise ValueError(f"empty evaluation interval [{lo}, {hi}]")
+                vector_rows.append(i)
+            else:
+                results[i] = self.minimize(
+                    curves, lo, hi, preferred_x=preferred_x, fwd_bwd=fwd_bwd
+                )
+        if len(vector_rows) < 2:
+            for i in vector_rows:
+                lo, hi = bounds[i]
+                results[i] = self.minimize(
+                    curve_sets[i], lo, hi, preferred_x=preferred_x, fwd_bwd=fwd_bwd
+                )
+            return results  # type: ignore[return-value]
+
+        # --- pad + sort ------------------------------------------------
+        n = np.array([len(curve_sets[i]) for i in vector_rows], dtype=np.intp)
+        V, P = len(vector_rows), int(n.max())
+        # Finite pad sentinel strictly above every real breakpoint: pads
+        # stay sorted after the valid entries without inf-inf arithmetic.
+        sentinel = float(max(float(curve_sets[i].xs.max()) for i in vector_rows)) + 1.0
+        xs2d = np.full((V, P), sentinel, dtype=np.float64)
+        ls2d = np.zeros((V, P), dtype=np.float64)
+        rs2d = np.zeros((V, P), dtype=np.float64)
+        for r, i in enumerate(vector_rows):
+            c = curve_sets[i]
+            k = int(n[r])
+            xs2d[r, :k] = c.xs
+            ls2d[r, :k] = c.ls
+            rs2d[r, :k] = c.rs
+        order = np.argsort(xs2d, axis=1, kind="stable")
+        xs_s = np.take_along_axis(xs2d, order, axis=1)
+        ls_s = np.take_along_axis(ls2d, order, axis=1)
+        rs_s = np.take_along_axis(rs2d, order, axis=1)
+        valid = np.arange(P)[None, :] < n[:, None]
+
+        # Near-coincident (but unequal) breakpoints: defer to the oracle,
+        # exactly like the per-point path.
+        d = xs_s[:, 1:] - xs_s[:, :-1]
+        near_dup = ((d > 0.0) & (d <= _EPS) & valid[:, 1:]).any(axis=1)
+        if bool(near_dup.any()):
+            for r in np.flatnonzero(near_dup):
+                i = vector_rows[r]
+                lo, hi = bounds[i]
+                results[i] = self._minimize_reference(
+                    curve_sets[i], lo, max(hi, lo), preferred_x, fwd_bwd
+                )
+            keep = ~near_dup
+            vector_rows = [i for r, i in enumerate(vector_rows) if keep[r]]
+            if len(vector_rows) < 2:
+                for i in vector_rows:
+                    lo, hi = bounds[i]
+                    results[i] = self.minimize(
+                        curve_sets[i], lo, hi, preferred_x=preferred_x, fwd_bwd=fwd_bwd
+                    )
+                return results  # type: ignore[return-value]
+            n = n[keep]
+            xs_s, ls_s, rs_s, valid = xs_s[keep], ls_s[keep], rs_s[keep], valid[keep]
+            V = len(vector_rows)
+
+        lo_arr = np.array([bounds[i][0] for i in vector_rows])
+        hi_arr = np.array([bounds[i][1] for i in vector_rows])
+        hi_arr = np.maximum(hi_arr, lo_arr)
+
+        # --- merge (flattened reduceat; groups never cross rows) -------
+        total = int(n.sum())
+        row_len = n
+        row_start = np.concatenate(([0], np.cumsum(row_len)[:-1]))
+        flat_xs = xs_s[valid]
+        flat_ls = ls_s[valid]
+        flat_rs = rs_s[valid]
+        new_group = np.empty(total, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (flat_xs[1:] - flat_xs[:-1]) > _EPS
+        new_group[row_start] = True
+        starts = np.flatnonzero(new_group)
+        mx_flat = flat_xs[starts]
+        mls_flat = np.add.reduceat(flat_ls, starts)
+        mrs_flat = np.add.reduceat(flat_rs, starts)
+
+        row_of_flat = np.repeat(np.arange(V), row_len)
+        row_of_start = row_of_flat[starts]
+        m = np.bincount(row_of_start, minlength=V).astype(np.intp)
+        M = int(m.max())
+        mstart_row = np.concatenate(([0], np.cumsum(m)[:-1]))
+        mcol = np.arange(starts.shape[0]) - mstart_row[row_of_start]
+
+        mx2d = np.zeros((V, M), dtype=np.float64)
+        mls2d = np.zeros((V, M), dtype=np.float64)
+        mrs2d = np.zeros((V, M), dtype=np.float64)
+        mx2d[row_of_start, mcol] = mx_flat
+        mls2d[row_of_start, mcol] = mls_flat
+        mrs2d[row_of_start, mcol] = mrs_flat
+        validm = np.arange(M)[None, :] < m[:, None]
+        rows = np.arange(V)
+        last = m - 1
+
+        def _rev_accumulate(a: Any) -> Any:
+            """Per-row suffix fold (reference ``accumulate(x[::-1])[::-1]``).
+
+            Flipping puts the zero pads in front; folding a finite value
+            onto a zero accumulator is exact, so the suffix values match
+            the reference fold bit for bit.
+            """
+            return np.add.accumulate(a[:, ::-1], axis=1)[:, ::-1]
+
+        if fwd_bwd:
+            # fwdtraverse: per-piece right-slope prefix folds, read at the
+            # merge-group ends.
+            piece_acc_r = np.add.accumulate(rs_s, axis=1)
+            next_start = np.append(starts[1:], total)
+            end_col = (next_start - 1) - row_start[row_of_start]
+            slopes_r2d = np.zeros((V, M), dtype=np.float64)
+            slopes_r2d[row_of_start, mcol] = piece_acc_r[row_of_start, end_col]
+            aw_r = np.add.accumulate(mrs2d * mx2d, axis=1)
+            v_r = slopes_r2d * mx2d - aw_r
+            slopes_l2d = _rev_accumulate(mls2d)
+            aw_l = _rev_accumulate(mls2d * mx2d)
+            v_l = slopes_l2d * mx2d - aw_l
+            values2d = v_r + v_l
+        else:
+            slopes_r2d = np.add.accumulate(mrs2d, axis=1)
+            slopes_l2d = _rev_accumulate(mls2d)
+            if M > 1:
+                prod = mls2d[:, 1:] * (mx2d[:, :1] - mx2d[:, 1:])
+                acc_prod = np.add.accumulate(prod, axis=1)
+                v0 = np.where(m > 1, acc_prod[rows, np.maximum(last - 1, 0)], 0.0)
+                seg = slopes_r2d[:, :-1] + slopes_l2d[:, 1:]
+                deltas = seg * (mx2d[:, 1:] - mx2d[:, :-1])
+                values2d = np.add.accumulate(
+                    np.concatenate([v0[:, None], deltas], axis=1), axis=1
+                )
+            else:
+                values2d = np.zeros((V, 1), dtype=np.float64)
+
+        mx_last = mx2d[rows, last]
+
+        def _values_at(q: Any) -> Any:
+            """Per-row curve values at one query position per row."""
+            below = q <= mx2d[:, 0]
+            above = q >= mx_last
+            cnt = ((mx2d < q[:, None]) & validm).sum(axis=1)
+            i = np.clip(cnt - 1, 0, last)
+            ip1 = np.minimum(i + 1, last)
+            slope = slopes_r2d[rows, i] + slopes_l2d[rows, ip1]
+            v_int = values2d[rows, i] + slope * (q - mx2d[rows, i])
+            v_below = values2d[:, 0] + slopes_l2d[:, 0] * (q - mx2d[:, 0])
+            v_above = values2d[rows, last] + slopes_r2d[rows, last] * (q - mx_last)
+            return np.where(below, v_below, np.where(above, v_above, v_int))
+
+        v_lo = _values_at(lo_arr)
+        v_hi = _values_at(hi_arr)
+        if preferred_x is not None:
+            v_pref = _values_at(np.full(V, float(preferred_x)))
+
+        # --- per-row candidate selection (tiny lists) ------------------
+        for r, i in enumerate(vector_rows):
+            lo = float(lo_arr[r])
+            hi = float(hi_arr[r])
+            k = int(m[r])
+            mxs = mx2d[r, :k]
+            vals = values2d[r, :k]
+            in_range = (mxs >= lo - _EPS) & (mxs <= hi + _EPS)
+            candidates: List[Tuple[float, float]] = [
+                (min(max(x, lo), hi), v)
+                for x, v in zip(mxs[in_range].tolist(), vals[in_range].tolist())
+            ]
+            candidates.append((lo, float(v_lo[r])))
+            candidates.append((hi, float(v_hi[r])))
+            if preferred_x is not None and lo <= preferred_x <= hi:
+                candidates.append((preferred_x, float(v_pref[r])))
+            best_x, best_v = _pick_best(candidates, preferred_x)
+            results[i] = CurveEvaluation(
+                best_x=best_x,
+                best_value=best_v + curve_sets[i].constant,
+                n_breakpoints=int(n[r]),
+                n_merged=k,
+            )
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
     # Batch evaluation (FOP snapping)
     # ------------------------------------------------------------------
     def evaluate(self, curves: Any, xs: Sequence[float]) -> List[float]:
@@ -304,6 +510,49 @@ class NumpyKernelBackend(KernelBackend):
         vals = np.where(q < curves.xs[None, :], curves.ls * diffs, curves.rs * diffs)
         totals = np.add.accumulate(vals, axis=1)[:, -1]
         return [curves.constant + float(t) for t in totals]
+
+    def evaluate_batch(
+        self, curve_sets: Sequence[Any], queries: Sequence[Sequence[float]]
+    ) -> List[List[float]]:
+        """Batched exact snapping evaluation across insertion points.
+
+        Vector-eligible points are evaluated through one padded
+        ``(points, queries, pieces)`` pipeline; zero-piece pads contribute
+        exact ``+ 0.0`` terms, so each value equals the per-point
+        :meth:`evaluate` result.  Scalar curve sets take the scalar path.
+        """
+        results: List[Optional[List[float]]] = [None] * len(curve_sets)
+        vector_rows: List[int] = []
+        for i, (curves, xs) in enumerate(zip(curve_sets, queries)):
+            if isinstance(curves, CurveArrays) and len(curves) > 0 and len(xs) > 0:
+                vector_rows.append(i)
+            else:
+                results[i] = self.evaluate(curves, xs)
+        if len(vector_rows) < 2:
+            for i in vector_rows:
+                results[i] = self.evaluate(curve_sets[i], queries[i])
+            return results  # type: ignore[return-value]
+
+        n = np.array([len(curve_sets[i]) for i in vector_rows], dtype=np.intp)
+        nq = np.array([len(queries[i]) for i in vector_rows], dtype=np.intp)
+        V, P, Q = len(vector_rows), int(n.max()), int(nq.max())
+        xs3 = np.zeros((V, 1, P), dtype=np.float64)
+        ls3 = np.zeros((V, 1, P), dtype=np.float64)
+        rs3 = np.zeros((V, 1, P), dtype=np.float64)
+        q3 = np.zeros((V, Q, 1), dtype=np.float64)
+        for r, i in enumerate(vector_rows):
+            c = curve_sets[i]
+            xs3[r, 0, : n[r]] = c.xs
+            ls3[r, 0, : n[r]] = c.ls
+            rs3[r, 0, : n[r]] = c.rs
+            q3[r, : nq[r], 0] = queries[i]
+        diffs = q3 - xs3
+        vals = np.where(q3 < xs3, ls3 * diffs, rs3 * diffs)
+        totals = np.add.accumulate(vals, axis=2)[:, :, -1]
+        for r, i in enumerate(vector_rows):
+            constant = curve_sets[i].constant
+            results[i] = [constant + float(t) for t in totals[r, : nq[r]]]
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # SACS shifting chains

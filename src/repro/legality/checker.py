@@ -157,6 +157,8 @@ class LegalityChecker:
                 buckets.setdefault(row, []).append(cell)
         reported: set[Tuple[int, int]] = set()
         for row, row_cells in buckets.items():
+            # Zero-width cells occupy no sites and cannot overlap anything.
+            row_cells = [c for c in row_cells if c.width > self.grid_tol]
             row_cells.sort(key=lambda c: c.x)
             for left, right in zip(row_cells, row_cells[1:]):
                 if right.x < left.right - self.grid_tol:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.geometry.cell import Cell
 from repro.geometry.region import LocalRegion
@@ -124,6 +124,30 @@ def build_curves(
     return pieces, constant
 
 
+def _site_candidates(best_x: float, lo: float, hi: float) -> List[int]:
+    """Floor/ceiling sites of the continuous optimum inside ``[lo, hi]``.
+
+    Returns an empty list when no site fits in the interval.
+    """
+    site_lo = math.ceil(lo - _EPS)
+    site_hi = math.floor(hi + _EPS)
+    if site_lo > site_hi:
+        return []
+    return sorted({min(max(math.floor(best_x), site_lo), site_hi),
+                   min(max(math.ceil(best_x), site_lo), site_hi)})
+
+
+def _pick_site(
+    candidates: Sequence[int], values: Sequence[float]
+) -> Tuple[Optional[float], float]:
+    """Select the lowest-value site candidate (ties keep the first)."""
+    best: Tuple[Optional[float], float] = (None, math.inf)
+    for x, value in zip(candidates, values):
+        if value < best[1] - _EPS:
+            best = (float(x), value)
+    return best
+
+
 def _snap_to_sites(
     backend: KernelBackend,
     curves: object,
@@ -136,18 +160,11 @@ def _snap_to_sites(
     Evaluates the summed curve exactly at the floor and ceiling sites of
     the continuous optimum and returns the better one.
     """
-    site_lo = math.ceil(lo - _EPS)
-    site_hi = math.floor(hi + _EPS)
-    if site_lo > site_hi:
+    candidates = _site_candidates(best_x, lo, hi)
+    if not candidates:
         return None, math.inf
-    candidates = sorted({min(max(math.floor(best_x), site_lo), site_hi),
-                         min(max(math.ceil(best_x), site_lo), site_hi)})
     values = backend.evaluate(curves, [float(x) for x in candidates])
-    best: Tuple[Optional[float], float] = (None, math.inf)
-    for x, value in zip(candidates, values):
-        if value < best[1] - _EPS:
-            best = (float(x), value)
-    return best
+    return _pick_site(candidates, values)
 
 
 def evaluate_insertion_point(
@@ -217,29 +234,128 @@ def find_optimal_position(
     backend = resolve_backend(config.backend)
     config.shifter.prepare(region)
     result = FOPResult(feasible=False)
+
+    points: List[InsertionPoint] = []
     for bottom_row in candidate_bottom_rows(region, target):
-        points = enumerate_insertion_points(
-            region, target, bottom_row, max_points=config.max_points_per_row
-        )
-        for insertion in points:
-            best_x, cost, outcome, ip_work = evaluate_insertion_point(
-                region, target, insertion, config, backend
+        points.extend(
+            enumerate_insertion_points(
+                region, target, bottom_row, max_points=config.max_points_per_row
             )
-            result.n_points_evaluated += 1
-            if work is not None:
-                work.add_insertion_point(ip_work)
-            if best_x is None:
-                continue
-            result.n_points_feasible += 1
-            better = cost < result.cost - _EPS
-            tie = abs(cost - result.cost) <= _EPS and result.x is not None and abs(
-                best_x - target.gp_x
-            ) < abs(result.x - target.gp_x)
-            if better or tie:
-                result.feasible = True
-                result.cost = cost
-                result.x = best_x
-                result.bottom_row = bottom_row
-                result.insertion = insertion
-                result.outcome = outcome
+        )
+
+    if getattr(backend, "supports_point_parallel", False) and backend.should_parallelize_fop(
+        region, points
+    ):
+        # Intra-region parallelism (the paper's FOP-PE axis): the point
+        # loop is chunked across worker processes; each chunk runs the
+        # exact sequential stages below, and the reduction replays the
+        # full per-point sequence in enumeration order, so results and
+        # work records are bit-for-bit identical.  Outcomes are not
+        # shipped back; the winner's is recomputed locally.
+        scored = backend.evaluate_points_parallel(region, target, points, config)
+    else:
+        scored = evaluate_point_list(region, target, points, config, backend)
+
+    # Reduction to the winning point, in enumeration order.
+    for insertion, best_x, cost, outcome, ip_work in scored:
+        result.n_points_evaluated += 1
+        if work is not None:
+            work.add_insertion_point(ip_work)
+        if best_x is None:
+            continue
+        result.n_points_feasible += 1
+        better = cost < result.cost - _EPS
+        tie = abs(cost - result.cost) <= _EPS and result.x is not None and abs(
+            best_x - target.gp_x
+        ) < abs(result.x - target.gp_x)
+        if better or tie:
+            result.feasible = True
+            result.cost = cost
+            result.x = best_x
+            result.bottom_row = insertion.bottom_row
+            result.insertion = insertion
+            result.outcome = outcome
+    if result.feasible and result.outcome is None:
+        # Parallel path: re-derive the winning point's shift outcome (the
+        # shifting chains are pure functions of the region state).
+        result.outcome = config.shifter.shift(region, target, result.insertion)
     return result
+
+
+def evaluate_point_list(
+    region: LocalRegion,
+    target: Cell,
+    points: Sequence[InsertionPoint],
+    config: FOPConfig,
+    backend: Optional[KernelBackend] = None,
+) -> List[Tuple[InsertionPoint, Optional[float], float, Optional[ShiftOutcome], InsertionPointWork]]:
+    """Run the FOP stages over an explicit insertion-point list.
+
+    Returns one ``(insertion, best_x, best_cost, outcome, work)`` entry
+    per point, in input order (``best_x`` is ``None`` for infeasible
+    points).  This is the unit the multiprocess backend chunks across
+    workers; the caller owns the reduction.
+    """
+    backend = backend or resolve_backend(config.backend)
+
+    # Stage 1 — cell shifting for every candidate insertion point, in
+    # enumeration order (the shifter's once-per-region counters and the
+    # work records depend on this order).
+    staged: List[Tuple[InsertionPoint, ShiftOutcome, InsertionPointWork]] = []
+    for insertion in points:
+        outcome = config.shifter.shift(region, target, insertion)
+        ip_work = InsertionPointWork(
+            n_local_cells=len(region.local_cells),
+            n_subcells=region.total_subcells(),
+            shift_passes=outcome.passes,
+            shift_cell_visits=outcome.cell_visits,
+            chain_left=len(outcome.left_thresholds),
+            chain_right=len(outcome.right_thresholds),
+            sort_size=outcome.sorted_cells,
+            multirow_accesses=outcome.multirow_accesses,
+            tall_accesses=outcome.tall_accesses,
+            feasible=outcome.feasible,
+        )
+        staged.append((insertion, outcome, ip_work))
+
+    # Stage 2 — curve construction and batched minimization over every
+    # feasible point (one array pipeline on vectorized backends, a plain
+    # loop on the reference).
+    feasible = [entry for entry in staged if entry[1].feasible]
+    curve_sets = [
+        backend.build_curves(
+            region, target, insertion.bottom_row, outcome, config.vertical_cost_factor
+        )
+        for insertion, outcome, _ in feasible
+    ]
+    evaluations = backend.minimize_batch(
+        curve_sets,
+        [(outcome.xt_lo, outcome.xt_hi) for _, outcome, _ in feasible],
+        preferred_x=target.gp_x,
+        fwd_bwd=config.use_fwd_bwd_pipeline,
+    )
+
+    # Stage 3 — batched snapping of every continuous optimum to the grid.
+    candidate_lists: List[List[int]] = []
+    for (_, outcome, ip_work), evaluation in zip(feasible, evaluations):
+        ip_work.n_breakpoints = evaluation.n_breakpoints
+        ip_work.n_merged_breakpoints = evaluation.n_merged
+        candidate_lists.append(
+            _site_candidates(evaluation.best_x, outcome.xt_lo, outcome.xt_hi)
+        )
+    value_lists = backend.evaluate_batch(
+        curve_sets, [[float(x) for x in sites] for sites in candidate_lists]
+    )
+
+    snapped = iter(zip(candidate_lists, value_lists))
+    results = []
+    for insertion, outcome, ip_work in staged:
+        if not outcome.feasible:
+            results.append((insertion, None, math.inf, outcome, ip_work))
+            continue
+        candidates, values = next(snapped)
+        best_x, cost = _pick_site(candidates, values)
+        if best_x is None:
+            ip_work.feasible = False
+        results.append((insertion, best_x, cost, outcome, ip_work))
+    return results

@@ -136,14 +136,45 @@ class MGLLegalizer:
         self.algorithm_name = algorithm_name
 
     # ------------------------------------------------------------------
+    def window_params(self) -> dict:
+        """Initial-window sizing, keyword-compatible with
+        :func:`repro.mgl.local_region.initial_window` and
+        :func:`repro.core.task_assignment.plan_shards`."""
+        return dict(
+            width_factor=self.window_width_factor,
+            min_width=self.window_min_width,
+            extra_rows=self.window_extra_rows,
+        )
+
+    def with_backend(self, backend: BackendSpec) -> "MGLLegalizer":
+        """A clone of this legalizer running on a different kernel backend.
+
+        Used by layout-parallel backends to hand their worker processes a
+        sequential legalizer with identical parameters.
+        """
+        return MGLLegalizer(
+            self.fop_config,
+            backend=backend,
+            ordering=self.ordering,
+            window_width_factor=self.window_width_factor,
+            window_min_width=self.window_min_width,
+            window_extra_rows=self.window_extra_rows,
+            window_expansion=self.window_expansion,
+            max_retries=self.max_retries,
+            metrics=self.metrics,
+            algorithm_name=self.algorithm_name,
+        )
+
+    # ------------------------------------------------------------------
     def legalize(self, layout: Layout) -> LegalizationResult:
         """Legalize every movable cell of the layout in place."""
         start = time.perf_counter()
+        backend = resolve_backend(self.fop_config.backend)
         trace = LegalizationTrace(
             design_name=layout.name,
             algorithm=self.algorithm_name,
             shift_algorithm=getattr(self.fop_config.shifter, "name", "original"),
-            kernel_backend=resolve_backend(self.fop_config.backend).name,
+            kernel_backend=backend.name,
             num_cells=len(layout.cells),
             num_movable=len(layout.movable_cells()),
         )
@@ -157,6 +188,27 @@ class MGLLegalizer:
             getattr(self.ordering, "last_op_count", n * max(1.0, math.log2(n)))
         )
 
+        if backend.supports_layout_parallel:
+            # Sharded execution across worker processes; produces results
+            # and work records bit-for-bit equal to the sequential run.
+            failed = backend.legalize_sharded(self, layout, ordered, trace)
+        else:
+            failed = self._legalize_ordered(layout, ordered, trace)
+
+        stats = self.metrics.compute(layout)
+        return LegalizationResult(
+            layout=layout,
+            trace=trace,
+            stats=stats,
+            failed_cells=failed,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def _legalize_ordered(
+        self, layout: Layout, ordered: Sequence[Cell], trace: LegalizationTrace
+    ) -> List[int]:
+        """Sequentially legalize an already-ordered target sequence."""
         failed: List[int] = []
         for target in ordered:
             if target.legalized:
@@ -167,15 +219,7 @@ class MGLLegalizer:
             trace.update_ops += work.update_moved_cells + 1
             if not placed:
                 failed.append(target.index)
-
-        stats = self.metrics.compute(layout)
-        return LegalizationResult(
-            layout=layout,
-            trace=trace,
-            stats=stats,
-            failed_cells=failed,
-            wall_seconds=time.perf_counter() - start,
-        )
+        return failed
 
     # ------------------------------------------------------------------
     def _legalize_cell(self, layout: Layout, target: Cell) -> Tuple[bool, TargetCellWork]:
@@ -191,6 +235,7 @@ class MGLLegalizer:
         for retry in range(self.max_retries + 1):
             region, scanned = build_local_region(layout, target, window)
             work.window_retries = retry
+            work.final_window = (window.x_lo, window.x_hi, window.row_lo, window.row_hi)
             work.n_local_cells = len(region.local_cells)
             work.n_subcells = region.total_subcells()
             work.n_rows = len(region.segments)
@@ -211,6 +256,7 @@ class MGLLegalizer:
             )
         # Fallback: direct nearest-free-space search over the whole chip.
         work.fallback_used = True
+        work.final_window = (0.0, layout.width, 0, layout.num_rows)
         position = self._fallback_position(layout, target)
         if position is None:
             return False, work

@@ -1,0 +1,78 @@
+"""Golden end-to-end regression suite.
+
+Every registered kernel backend legalizes the committed fixture layouts
+and must reproduce the committed placements, quality and work counters
+*exactly*.  The pairwise equivalence suite (``tests/test_kernels.py``)
+compares two live runs, so a silent behavior drift that moves every
+backend at once slips through it; these fixtures pin the absolute
+behavior across versions.  After an intentional algorithm change,
+regenerate them with ``PYTHONPATH=src python tests/golden/regenerate.py``
+and review the diff.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.designio.serialize import layout_from_dict
+from repro.kernels import available_backends
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+_spec = importlib.util.spec_from_file_location(
+    "golden_regenerate", GOLDEN_DIR / "regenerate.py"
+)
+golden_regenerate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(golden_regenerate)
+
+FIXTURE_NAMES = sorted(golden_regenerate.FIXTURES)
+
+
+def load_fixture(name: str) -> dict:
+    path = GOLDEN_DIR / f"{name}.json"
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_every_fixture_is_committed():
+    missing = [
+        name for name in FIXTURE_NAMES if not (GOLDEN_DIR / f"{name}.json").exists()
+    ]
+    assert not missing, f"run tests/golden/regenerate.py; missing: {missing}"
+
+
+@pytest.mark.parametrize("backend_name", available_backends())
+@pytest.mark.parametrize("fixture_name", FIXTURE_NAMES)
+def test_backend_reproduces_golden_run(fixture_name, backend_name):
+    fixture = load_fixture(fixture_name)
+    layout = layout_from_dict(fixture["layout"])
+    legalizer = golden_regenerate.build_legalizer(fixture["config"], backend=backend_name)
+    result = legalizer.legalize(layout)
+
+    expected = fixture["expected"]
+    positions = [[c.x, c.y, c.legalized] for c in layout.cells]
+    assert positions == expected["positions"]
+    assert result.failed_cells == expected["failed_cells"]
+    assert result.average_displacement == expected["average_displacement"]
+    trace = result.trace
+    counters = expected["counters"]
+    assert len(trace.targets) == counters["targets"]
+    assert trace.total_insertion_points == counters["total_insertion_points"]
+    assert trace.total_shift_visits == counters["total_shift_visits"]
+    assert trace.total_breakpoints == counters["total_breakpoints"]
+    assert trace.total_sort_items == counters["total_sort_items"]
+    assert trace.total_update_moves == counters["total_update_moves"]
+    assert trace.kernel_backend == backend_name
+
+
+def test_fixture_layouts_round_trip():
+    """The serialized inputs must round-trip exactly (sanity of the format)."""
+    from repro.designio.serialize import layout_to_dict
+
+    for name in FIXTURE_NAMES:
+        fixture = load_fixture(name)
+        layout = layout_from_dict(fixture["layout"])
+        assert layout_to_dict(layout) == fixture["layout"]

@@ -163,3 +163,94 @@ class TestPlacementMetrics:
         assert d["num_cells"] == 2.0
         table = metrics.compare([layout], labels=["demo"])
         assert "demo" in table and "AveDis" in table
+
+
+class TestCheckerEdgeCases:
+    """Edge cases: zero-width cells, row boundaries, fixed macros, empty layouts."""
+
+    def test_empty_layout_is_legal(self):
+        report = LegalityChecker().check(Layout(4, 20))
+        assert report.legal
+        assert report.cells_checked == 0
+
+    def test_degenerate_layout_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="positive"):
+            Layout(0, 20)
+        with pytest.raises(ValueError, match="positive"):
+            Layout(4, 0)
+
+    def test_zero_width_movable_cell_rejected(self):
+        with pytest.raises(ValueError, match="width must be positive"):
+            Cell(index=0, width=0.0, height=1, gp_x=4.0, gp_y=0.0)
+
+    def test_zero_width_fixed_marker_never_overlaps(self):
+        # Fixed zero-footprint markers (blockage pins) are allowed and must
+        # not be reported as overlapping the cell they sit inside.
+        layout = make_layout(4, 20, [(2.0, 0.0, 6.0, 1)])
+        marker = Cell(index=1, width=0.0, height=1, gp_x=4.0, gp_y=0.0,
+                      x=4.0, y=0.0, fixed=True)
+        layout.add_cell(marker)
+        layout.rebuild_index()
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.OVERLAP) == 0
+        assert report.legal
+        assert LegalityChecker().total_overlap_area(layout) == 0.0
+
+    def test_zero_width_marker_still_bounds_checked(self):
+        layout = make_layout(2, 10, [])
+        marker = Cell(index=0, width=0.0, height=1, gp_x=1.0, gp_y=0.0,
+                      x=-1.0, y=0.0, fixed=True)
+        layout.add_cell(marker)
+        layout.rebuild_index()
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_cell_flush_against_chip_boundaries_is_legal(self):
+        # Right/top edges exactly on the chip boundary must not trip the
+        # bounds check (closed-interval boundary).
+        layout = make_layout(4, 20, [(16.0, 2.0, 4.0, 2), (0.0, 0.0, 4.0, 1)])
+        report = LegalityChecker().check(layout)
+        assert report.legal
+
+    def test_cell_crossing_top_row_boundary(self):
+        layout = make_layout(4, 20, [(0.0, 3.0, 4.0, 2)])
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_adjacent_cells_at_shared_row_boundary(self):
+        # Cells meeting exactly edge-to-edge (right == neighbour.x) are legal.
+        layout = make_layout(4, 20, [(0.0, 0.0, 5.0, 1), (5.0, 0.0, 5.0, 1)])
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.OVERLAP) == 0
+
+    def test_overlapping_fixed_macros_reported_once(self):
+        layout = Layout(6, 30)
+        layout.add_cell(Cell(index=0, width=10.0, height=4, gp_x=2.0, gp_y=0.0,
+                             x=2.0, y=0.0, fixed=True))
+        layout.add_cell(Cell(index=1, width=10.0, height=4, gp_x=6.0, gp_y=1.0,
+                             x=6.0, y=1.0, fixed=True))
+        layout.rebuild_index()
+        report = LegalityChecker().check(layout)
+        # One violation for the pair even though they overlap in 3 rows.
+        assert report.count(ViolationKind.OVERLAP) == 1
+        # Fixed macros are exempt from grid/P-G checks.
+        assert report.count(ViolationKind.OFF_SITE) == 0
+        assert report.count(ViolationKind.PG_MISALIGNED) == 0
+
+    def test_fixed_macro_overlapping_movable_cell(self):
+        layout = make_layout(4, 30, [(4.0, 0.0, 6.0, 1)])
+        layout.add_cell(Cell(index=1, width=8.0, height=2, gp_x=8.0, gp_y=0.0,
+                             x=8.0, y=0.0, fixed=True))
+        layout.rebuild_index()
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.OVERLAP) == 1
+
+    def test_fractional_fixed_macro_rows_bucketed(self):
+        # A fixed macro anchored off the row grid still blocks the rows it
+        # geometrically covers.
+        layout = make_layout(4, 30, [(4.0, 1.0, 6.0, 1)])
+        layout.add_cell(Cell(index=1, width=8.0, height=1, gp_x=4.0, gp_y=0.5,
+                             x=4.0, y=0.5, fixed=True))
+        layout.rebuild_index()
+        report = LegalityChecker().check(layout)
+        assert report.count(ViolationKind.OVERLAP) == 1

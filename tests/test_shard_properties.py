@@ -1,0 +1,271 @@
+"""Property-based tests of the multiprocess shard partition and merge.
+
+Three layers, mirroring the backend's correctness argument:
+
+* **partition invariants** (hypothesis over random designs): every
+  pending target lands in exactly one shard, shards preserve the global
+  processing order, and the initial windows of targets in *different*
+  shards never overlap — the disjointness that makes the static merge
+  provably exact;
+* **merge == sequential** (50+ seeded random designs): the full static
+  shard/execute/validate/merge pipeline — run in-process on layout
+  copies, the identical code path minus the process pool — reproduces
+  the sequential reference bit for bit: placements, displacement stats,
+  failed cells and work counters;
+* **process-pool smoke** (a handful of designs): the same equality
+  through real ``fork`` workers, for every execution strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.benchgen import DesignSpec, generate_design
+from repro.core.task_assignment import (
+    TargetWindowRect,
+    ShardPlan,
+    find_escaped_conflicts,
+    plan_shards,
+)
+from repro.kernels import MultiprocessKernelBackend
+from repro.mgl import MGLLegalizer
+from repro.mgl.fop import FOPConfig
+from repro.mgl.legalizer import size_descending_order
+from repro.mgl.premove import premove
+from repro.core.sacs import SortAheadShifter
+
+
+def build_design(num_cells, density, seed, tall=False):
+    mix = {1: 0.6, 2: 0.2, 3: 0.12, 4: 0.08} if tall else {1: 0.8, 2: 0.15, 3: 0.05}
+    return generate_design(
+        DesignSpec(
+            name=f"shard{seed}",
+            num_cells=num_cells,
+            density=density,
+            seed=seed,
+            height_mix=mix,
+        )
+    )
+
+
+def legalize(layout, backend):
+    legalizer = MGLLegalizer(
+        FOPConfig(shifter=SortAheadShifter()), backend=backend
+    )
+    return legalizer.legalize(layout)
+
+
+def run_pair(backend, num_cells=60, density=0.5, seed=0, tall=False):
+    """Legalize the same design with ``backend`` and the reference."""
+    ref_layout = build_design(num_cells, density, seed, tall)
+    ref = legalize(ref_layout, "python")
+    layout = build_design(num_cells, density, seed, tall)
+    result = legalize(layout, backend)
+    return (ref_layout, ref), (layout, result)
+
+
+def assert_identical(ref_pair, got_pair):
+    ref_layout, ref = ref_pair
+    layout, result = got_pair
+    assert [(c.x, c.y, c.legalized) for c in layout.cells] == [
+        (c.x, c.y, c.legalized) for c in ref_layout.cells
+    ]
+    assert result.failed_cells == ref.failed_cells
+    assert result.average_displacement == ref.average_displacement
+    trace, ref_trace = result.trace, ref.trace
+    assert trace.total_insertion_points == ref_trace.total_insertion_points
+    assert trace.total_shift_visits == ref_trace.total_shift_visits
+    assert trace.total_breakpoints == ref_trace.total_breakpoints
+    assert trace.total_sort_items == ref_trace.total_sort_items
+    assert trace.total_update_moves == ref_trace.total_update_moves
+    assert trace.region_build_ops == ref_trace.region_build_ops
+    assert trace.update_ops == ref_trace.update_ops
+    assert [t.cell_index for t in trace.targets] == [
+        t.cell_index for t in ref_trace.targets
+    ]
+
+
+# ----------------------------------------------------------------------
+# Partition invariants
+# ----------------------------------------------------------------------
+design_strategy = st.fixed_dictionaries(
+    {
+        "num_cells": st.integers(30, 120),
+        "density": st.floats(0.25, 0.8),
+        "seed": st.integers(0, 10_000),
+        "n_workers": st.integers(1, 6),
+    }
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(design_strategy)
+def test_shard_partition_invariants(params):
+    layout = build_design(params["num_cells"], params["density"], params["seed"])
+    premove(layout)
+    layout.rebuild_index()
+    ordered = size_descending_order(layout, layout.unlegalized_cells())
+    plan = plan_shards(layout, ordered, params["n_workers"])
+
+    # Every target is assigned to exactly one shard.
+    assigned = [index for shard in plan.shards for index in shard]
+    assert sorted(assigned) == sorted(c.index for c in ordered)
+    assert len(assigned) == len(set(assigned))
+    assert len(plan.shards) == params["n_workers"]
+
+    # Components partition the targets too, and shards respect the
+    # global processing order.
+    in_components = [index for component in plan.components for index in component]
+    assert sorted(in_components) == sorted(assigned)
+    rank = {cell.index: position for position, cell in enumerate(ordered)}
+    for shard in plan.shards:
+        ranks = [rank[index] for index in shard]
+        assert ranks == sorted(ranks)
+
+    # Cross-shard windows never overlap: no two shards share any
+    # (row-interval x site-interval) region of the chip.
+    for wa, shard_a in enumerate(plan.shards):
+        for wb in range(wa + 1, len(plan.shards)):
+            for ia in shard_a:
+                for ib in plan.shards[wb]:
+                    assert not plan.windows[ia].overlaps(plan.windows[ib])
+
+    # Stats are consistent with the partition.
+    stats = plan.stats()
+    assert stats["shard_targets"] == [len(s) for s in plan.shards]
+    assert stats["n_components"] == len(plan.components)
+    assert plan.parallelism() == sum(1 for s in plan.shards if s)
+
+
+def test_escape_validation_flags_only_cross_worker_expansions():
+    def rect(index, x_lo, x_hi, row_lo=0, row_hi=4):
+        return TargetWindowRect(index, x_lo, x_hi, row_lo, row_hi)
+
+    plan = ShardPlan(n_workers=2, shards=[[1, 2], [3]])
+    plan.windows = {1: rect(1, 0, 10), 2: rect(2, 12, 20), 3: rect(3, 40, 50)}
+    plan.worker_of = {1: 0, 2: 0, 3: 1}
+
+    # No expansion: nothing to flag.
+    assert find_escaped_conflicts(plan, dict(plan.windows)) == []
+    # Expansion into a same-worker neighbour is harmless.
+    grown_same = dict(plan.windows)
+    grown_same[1] = rect(1, 0, 15)
+    assert find_escaped_conflicts(plan, grown_same) == []
+    # Expansion reaching the other worker's window is a conflict.
+    grown_cross = dict(plan.windows)
+    grown_cross[2] = rect(2, 12, 45)
+    assert find_escaped_conflicts(plan, grown_cross) == [2]
+    # Whole-chip fallback windows conflict with everything else.
+    fallback = dict(plan.windows)
+    fallback[3] = rect(3, 0.0, 1000.0)
+    assert find_escaped_conflicts(plan, fallback) == [3]
+
+
+# ----------------------------------------------------------------------
+# merge(shard results) == sequential result, 50+ random designs
+# ----------------------------------------------------------------------
+MERGE_CASES = [
+    dict(
+        num_cells=30 + (seed * 7) % 90,
+        density=0.3 + (seed % 6) * 0.09,
+        seed=seed,
+        tall=seed % 3 == 0,
+    )
+    for seed in range(52)
+]
+
+
+@pytest.mark.parametrize("case", range(len(MERGE_CASES)))
+def test_static_shard_merge_equals_sequential(case):
+    params = MERGE_CASES[case]
+    backend = MultiprocessKernelBackend(
+        workers=2 + case % 4,
+        use_processes=False,  # identical machinery, no process pool
+        strategy="static",
+        min_parallel_targets=2,
+    )
+    ref_pair, got_pair = run_pair(backend, **params)
+    assert_identical(ref_pair, got_pair)
+    stats = got_pair[1].trace.shard_stats
+    assert stats is not None
+    assert stats["inner_backend"] in ("numpy", "python")
+
+
+# ----------------------------------------------------------------------
+# Real process-pool equality, per strategy
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", ["auto", "static", "wavefront"])
+def test_process_pool_equals_sequential(strategy):
+    backend = MultiprocessKernelBackend(
+        workers=2, strategy=strategy, min_parallel_targets=2
+    )
+    try:
+        ref_pair, got_pair = run_pair(backend, num_cells=90, density=0.6, seed=17)
+        assert_identical(ref_pair, got_pair)
+        stats = got_pair[1].trace.shard_stats
+        assert stats["workers"] == 2
+        # worker_count reports the processes that actually ran FOP work.
+        pool_ran = stats["mode"] in ("static", "wavefront") or stats[
+            "point_parallel_regions"
+        ] > 0
+        assert got_pair[1].trace.worker_count == (2 if pool_ran else 1)
+    finally:
+        backend.close()
+
+
+def test_workers_do_not_change_results():
+    results = []
+    for workers in (2, 5):
+        backend = MultiprocessKernelBackend(
+            workers=workers, min_parallel_targets=2
+        )
+        try:
+            layout = build_design(70, 0.55, 99)
+            result = legalize(layout, backend)
+        finally:
+            backend.close()
+        results.append(([(c.x, c.y) for c in layout.cells], result.average_displacement))
+    assert results[0] == results[1]
+
+
+def test_escaped_expansion_triggers_sequential_rerun():
+    """A packed cluster forces window expansion into the other shard."""
+    from repro.geometry import Cell, Layout
+
+    layout = Layout(8, 200, name="escape")
+    index = 0
+    # Cluster A: rows fully packed around x in [0, 48) so the pending
+    # target's initial window has no feasible insertion point.
+    for row in range(8):
+        for x in range(0, 48, 4):
+            layout.add_cell(Cell(index=index, width=4.0, height=1, gp_x=float(x),
+                                 gp_y=float(row), x=float(x), y=float(row),
+                                 legalized=True))
+            index += 1
+    # The trapped target (premoves into the middle of cluster A).
+    layout.add_cell(Cell(index=index, width=4.0, height=1, gp_x=24.0, gp_y=3.0))
+    trapped = index
+    index += 1
+    # Cluster B: a few easy pending targets, far enough for disjoint
+    # initial windows but inside the trapped target's expansion reach.
+    for i in range(3):
+        layout.add_cell(Cell(index=index, width=4.0, height=1,
+                             gp_x=80.0 + 8 * i, gp_y=float(2 + i)))
+        index += 1
+    layout.rebuild_index()
+
+    ref_layout = layout.copy()
+    ref = legalize(ref_layout, "python")
+
+    backend = MultiprocessKernelBackend(
+        workers=2, use_processes=False, strategy="static", min_parallel_targets=2
+    )
+    result = legalize(layout, backend)
+
+    stats = result.trace.shard_stats
+    assert stats["sequential_rerun"], stats
+    assert stats["escaped_targets"] >= 1
+    trapped_work = next(t for t in result.trace.targets if t.cell_index == trapped)
+    assert trapped_work.window_retries > 0 or trapped_work.fallback_used
+    assert_identical((ref_layout, ref), (layout, result))
