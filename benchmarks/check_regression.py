@@ -1,0 +1,113 @@
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+The scheduled CI benchmark job runs the dense kernel-backend benches and
+the multiprocess worker sweep with ``--benchmark-json=BENCH_full.json``
+and then calls::
+
+    python benchmarks/check_regression.py BENCH_full.json
+
+which fails (exit code 1) when any benchmark's mean time is more than
+``--threshold`` (default 20 %) slower than the committed baseline
+(``benchmarks/bench_baseline.json``).  Faster runs and new benchmarks
+never fail; benchmarks that disappeared from the run are warned about,
+so a renamed bench cannot silently drop out of regression coverage.
+
+After an intentional performance change (or a runner-hardware change),
+refresh the baseline with::
+
+    python benchmarks/check_regression.py BENCH_full.json --update
+
+and commit the diff.  Baselines are absolute seconds, so they are only
+comparable on similar hardware — the threshold is deliberately loose to
+absorb normal CI-runner jitter while still catching real (>20 %) hot-
+path regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "bench_baseline.json"
+DEFAULT_THRESHOLD = 0.20
+
+
+def load_means(benchmark_json: Path) -> dict:
+    """Extract ``{benchmark name: mean seconds}`` from pytest-benchmark output."""
+    data = json.loads(benchmark_json.read_text(encoding="utf-8"))
+    means = {}
+    for bench in data.get("benchmarks", []):
+        stats = bench.get("stats") or {}
+        mean = stats.get("mean")
+        if mean is not None:
+            means[bench["name"]] = float(mean)
+    return means
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> int:
+    """Print a comparison table; return the number of regressions."""
+    regressions = 0
+    width = max((len(name) for name in current), default=4)
+    print(f"{'benchmark'.ljust(width)}  {'baseline_s':>12}  {'current_s':>12}  ratio")
+    for name in sorted(current):
+        mean = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name.ljust(width)}  {'-':>12}  {mean:12.6f}  NEW (no baseline)")
+            continue
+        ratio = mean / base if base > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + threshold:
+            flag = f"  REGRESSION (>{threshold * 100:.0f}%)"
+            regressions += 1
+        print(f"{name.ljust(width)}  {base:12.6f}  {mean:12.6f}  {ratio:5.2f}x{flag}")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name.ljust(width)}  missing from this run (baseline kept)")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benchmark_json", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline JSON (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="fractional slowdown tolerated before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_means(args.benchmark_json)
+    if not current:
+        print(f"no benchmark timings found in {args.benchmark_json}", file=sys.stderr)
+        return 1
+
+    if args.update:
+        args.baseline.write_text(
+            json.dumps(current, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {len(current)} baseline entries to {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"baseline {args.baseline} missing; run with --update first", file=sys.stderr)
+        return 1
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    regressions = compare(current, baseline, args.threshold)
+    if regressions:
+        print(f"{regressions} benchmark(s) regressed beyond the threshold", file=sys.stderr)
+        return 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

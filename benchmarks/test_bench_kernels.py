@@ -294,7 +294,15 @@ def test_bench_mp_worker_sweep(benchmark):
         "design": "des_perf_1",
         "cpu_count": os.cpu_count(),
         "rows": [
-            dict(zip(["backend", "workers", "wall_s", "speedup", "mode", "avedis"], row))
+            dict(
+                zip(
+                    [
+                        "backend", "workers", "wall_s", "speedup", "mode",
+                        "avedis", "retry0_pct", "retries",
+                    ],
+                    row,
+                )
+            )
             for row in result.rows
         ],
     }

@@ -32,9 +32,8 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-import numpy as np
 
 from repro.geometry.cell import Cell
 from repro.geometry.layout import Layout

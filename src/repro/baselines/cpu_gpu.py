@@ -19,8 +19,8 @@ GPU-compute / synchronisation / tough-cell-on-CPU structure.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.geometry.cell import Cell
 from repro.geometry.layout import Layout

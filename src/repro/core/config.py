@@ -16,8 +16,7 @@ and steps (a)(b)(c)(e) on the CPU, 285 MHz FPGA clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.core.pipeline import PipelineOrganization
 from repro.core.task_assignment import TaskPartition
@@ -112,6 +111,8 @@ class FlexConfig:
                 f"unknown kernel_backend {self.kernel_backend!r}; "
                 f"available: {available_backends()}"
             ) from None
+        except ValueError as exc:
+            raise ValueError(f"invalid kernel_backend: {exc}") from None
         if self.pipeline is PipelineOrganization.MULTI_GRANULARITY and not self.use_sacs:
             raise ValueError(
                 "the multi-granularity pipeline requires SACS: the original "

@@ -18,8 +18,7 @@ resource estimate of the configured accelerator instance.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.config import FlexConfig

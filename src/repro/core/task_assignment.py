@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.perf.counters import LegalizationTrace, TargetCellWork
 
@@ -242,23 +242,36 @@ def target_window_rect(
     width_factor: float = 5.0,
     min_width: float = 24.0,
     extra_rows: int = 3,
+    slack: Optional[float] = None,
+    growth: Optional[float] = None,
+    max_growths: Optional[int] = None,
+    use_planner: bool = True,
 ) -> TargetWindowRect:
-    """The initial search window of a (pre-moved) target as a rectangle.
+    """The planned initial search window of a (pre-moved) target.
 
-    Delegates to :func:`repro.mgl.local_region.initial_window` so the
+    Delegates to :func:`repro.mgl.window_planner.plan_initial_window`
+    (the occupancy-aware planner over the geometric base window) so the
     shard partition reasons about the *same floats* the legalizer will
     open — the escape validation compares planned and recorded windows
     for exact equality, so a second copy of the formula would be a trap.
-    (Imported lazily to keep core free of a module-level mgl dependency.)
+    The plan is computed against the layout's *current* occupancy; the
+    sharder calls it before any target commits, and per-worker replans
+    that drift from it are caught by :func:`find_escaped_conflicts`
+    exactly like retry expansions.  (Imported lazily to keep core free
+    of a module-level mgl dependency.)
     """
-    from repro.mgl.local_region import initial_window
+    from repro.mgl.window_planner import plan_initial_window
 
-    window = initial_window(
+    window, _growths = plan_initial_window(
         layout,
         target,
         width_factor=width_factor,
         min_width=min_width,
         extra_rows=extra_rows,
+        slack=slack,
+        growth=growth,
+        max_growths=max_growths,
+        use_planner=use_planner,
     )
     return TargetWindowRect(
         cell_index=target.index,
@@ -319,6 +332,10 @@ def plan_shards(
     width_factor: float = 5.0,
     min_width: float = 24.0,
     extra_rows: int = 3,
+    slack: Optional[float] = None,
+    growth: Optional[float] = None,
+    max_growths: Optional[int] = None,
+    use_planner: bool = True,
 ) -> ShardPlan:
     """Partition an ordered target sequence into conflict-free shards.
 
@@ -338,6 +355,10 @@ def plan_shards(
             width_factor=width_factor,
             min_width=min_width,
             extra_rows=extra_rows,
+            slack=slack,
+            growth=growth,
+            max_growths=max_growths,
+            use_planner=use_planner,
         )
         for target in ordered_targets
     ]

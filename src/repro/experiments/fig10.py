@@ -71,7 +71,7 @@ def run_fig10_task_assignment(
         ],
         rows=rows,
         notes=[
-            f"paper: keeping insert & update on the CPU is on average "
+            "paper: keeping insert & update on the CPU is on average "
             f"{paper_data.FIG10_AVERAGE}x faster",
         ],
         extras={"average_speedup": average},

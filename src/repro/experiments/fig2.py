@@ -21,7 +21,6 @@ from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
     run_design,
-    run_design_suite,
 )
 from repro.perf.cost_model import CpuCostModel
 from repro.perf.gpu_model import CpuGpuModel

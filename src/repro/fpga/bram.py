@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 
 #: Capacity of one BRAM36 block in bits (36 Kib).

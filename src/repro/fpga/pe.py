@@ -11,7 +11,7 @@ regions and whole runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.pipeline import PipelineOrganization
 from repro.fpga.sacs_dataflow import SacsCycleModel

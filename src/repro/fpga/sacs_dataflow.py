@@ -23,7 +23,6 @@ The model exposes three switches matching the Fig. 9 series:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.perf.counters import InsertionPointWork
 

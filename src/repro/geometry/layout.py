@@ -21,11 +21,11 @@ Design notes
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.geometry.cell import Cell
 from repro.geometry.interval import Interval
-from repro.geometry.row import PowerRail, Row
+from repro.geometry.row import Row
 
 
 class Layout:
@@ -71,6 +71,14 @@ class Layout:
         # Per-row sorted obstacle index: row -> list of (x, cell_index).
         self._row_index: List[List[Tuple[float, int]]] = [[] for _ in range(self.num_rows)]
         self._index_dirty = False
+        # Free-space summary: per-row (prefix sums of obstacle widths,
+        # max obstacle width), aligned with the row's index entries.
+        # Rebuilt lazily per row (an entry is invalidated whenever the
+        # row's obstacles change), so occupancy queries stay O(log n)
+        # between placements without a full-summary rebuild per commit.
+        self._row_prefix: List[Optional[Tuple[List[float], float]]] = (
+            [None] * self.num_rows
+        )
         if cells is not None:
             for cell in cells:
                 self.add_cell(cell)
@@ -169,10 +177,12 @@ class Layout:
         bottom, top = cell.row_span
         for row in range(max(0, bottom), min(self.num_rows, top)):
             bisect.insort(self._row_index[row], (cell.x, cell.index))
+            self._row_prefix[row] = None
 
     def _remove_from_index(self, cell: Cell) -> None:
         bottom, top = cell.row_span
         for row in range(max(0, bottom), min(self.num_rows, top)):
+            self._row_prefix[row] = None
             entries = self._row_index[row]
             key = (cell.x, cell.index)
             pos = bisect.bisect_left(entries, key)
@@ -188,6 +198,7 @@ class Layout:
         :meth:`move_obstacle` / :meth:`mark_legalized`.
         """
         self._row_index = [[] for _ in range(self.num_rows)]
+        self._row_prefix = [None] * self.num_rows
         for cell in self.cells:
             if cell.fixed or cell.legalized:
                 self._insert_into_index(cell)
@@ -244,6 +255,89 @@ class Layout:
             if cell.right > x_lo:
                 result.append(cell)
         return result
+
+    # ------------------------------------------------------------------
+    # Free-space summary (consumed by the occupancy-aware window planner)
+    # ------------------------------------------------------------------
+    def _row_summary(self, row: int) -> Tuple[List[float], float]:
+        """``(prefix width sums, max obstacle width)`` of a row's index
+        entries (lazily rebuilt when the row's obstacles changed)."""
+        summary = self._row_prefix[row]
+        if summary is None:
+            prefix = [0.0]
+            max_width = 0.0
+            for _, idx in self._row_index[row]:
+                width = self.cells[idx].width
+                prefix.append(prefix[-1] + width)
+                if width > max_width:
+                    max_width = width
+            summary = self._row_prefix[row] = (prefix, max_width)
+        return summary
+
+    def row_occupied_width(self, row: int, x_lo: float, x_hi: float) -> float:
+        """Total obstacle width covering ``[x_lo, x_hi)`` of ``row``.
+
+        Obstacles crossing the span boundary count only their overlap.
+        Uses the per-row prefix sums, so the query is O(log n) in the
+        row's obstacle count.  In a legal layout the result is exact;
+        with overlapping obstacles (malformed fixed blockages) it never
+        underestimates — cells starting inside the span contribute their
+        full width even where they overlap — so the window planner can
+        only be conservative, never optimistic.
+        """
+        if x_hi <= x_lo:
+            return 0.0
+        entries = self._row_index[row]
+        if not entries:
+            return 0.0
+        prefix, max_width = self._row_summary(row)
+        # Entries starting inside [x_lo, x_hi) form the run [i, j); sum
+        # their widths via the prefix array, clipping only the last one
+        # at x_hi (in a legal row no earlier run member can reach past
+        # the last one's right edge; with overlaps this overestimates).
+        j = bisect.bisect_left(entries, (x_hi,))
+        i = bisect.bisect_left(entries, (x_lo,))
+        occupied = 0.0
+        if i < j:
+            occupied = prefix[j] - prefix[i]
+            occupied -= max(0.0, self.cells[entries[j - 1][1]].right - x_hi)
+        # Boundary crossers start before x_lo; any of them satisfies
+        # ``x > x_lo - max_width`` (their width bounds their reach), so
+        # walking that bounded strip finds every one even when obstacles
+        # overlap and rights are not monotone.  Each contributes its
+        # exact clipped overlap.
+        k = i
+        while k > 0 and entries[k - 1][0] > x_lo - max_width:
+            k -= 1
+            cell = self.cells[entries[k][1]]
+            lo = max(cell.x, x_lo)
+            hi = min(cell.right, x_hi)
+            if hi > lo:
+                occupied += hi - lo
+        return max(0.0, occupied)
+
+    def row_free_capacity(self, row: int, x_lo: float, x_hi: float) -> float:
+        """Free site capacity of ``row`` inside ``[x_lo, x_hi)``.
+
+        The span is clipped to the row extent; the result is the clipped
+        width minus the obstacle occupancy from the free-space summary.
+        """
+        span = self.rows[row].span
+        x_lo = max(x_lo, span.lo)
+        x_hi = min(x_hi, span.hi)
+        if x_hi <= x_lo:
+            return 0.0
+        return max(0.0, (x_hi - x_lo) - self.row_occupied_width(row, x_lo, x_hi))
+
+    def window_free_capacity(
+        self, x_lo: float, x_hi: float, row_lo: int, row_hi: int
+    ) -> float:
+        """Total free site capacity of a window (``row_hi`` exclusive)."""
+        row_lo = max(0, row_lo)
+        row_hi = min(self.num_rows, row_hi)
+        return sum(
+            self.row_free_capacity(row, x_lo, x_hi) for row in range(row_lo, row_hi)
+        )
 
     def iter_obstacle_pairs(self) -> Iterator[Tuple[Cell, Cell]]:
         """Yield pairs of horizontally adjacent obstacles in each row.

@@ -20,7 +20,7 @@ insert & update step.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.geometry.cell import Cell
 from repro.geometry.interval import Interval

@@ -88,6 +88,9 @@ def get_kernel_backend(name: str) -> KernelBackend:
 
     Accepts plain registry names and parameterized ``"name:arg"``
     spellings for backends registered with a parameterized factory.
+    Invalid parameterized arguments (e.g. ``"multiprocess:0"`` or
+    ``"multiprocess:x"``) raise a :class:`ValueError` naming the
+    offending spelling; unknown backend names raise :class:`KeyError`.
     """
     instance = _INSTANCES.get(name)
     if instance is not None:
@@ -98,12 +101,10 @@ def get_kernel_backend(name: str) -> KernelBackend:
         return instance
     base, sep, arg = name.partition(":")
     if sep and base in _PARAM_FACTORIES:
-        try:
-            instance = _INSTANCES[name] = _PARAM_FACTORIES[base](arg)
-        except (TypeError, ValueError):
-            raise KeyError(
-                f"invalid argument {arg!r} for kernel backend {base!r}"
-            ) from None
+        # Factories validate their argument and raise a clear ValueError
+        # (e.g. a non-integer or < 1 worker count); let it propagate
+        # instead of burying it under a registry KeyError.
+        instance = _INSTANCES[name] = _PARAM_FACTORIES[base](arg)
         return instance
     raise KeyError(
         f"unknown kernel backend {name!r}; available: {available_backends()}"
@@ -139,12 +140,18 @@ if _numpy_backend.np is not None:
 
 NumpyKernelBackend = _numpy_backend.NumpyKernelBackend
 
-from repro.kernels.mp_backend import MultiprocessKernelBackend  # noqa: E402
+from repro.kernels.mp_backend import MultiprocessKernelBackend, parse_worker_count  # noqa: E402
+
+
+def _multiprocess_from_arg(arg: str) -> MultiprocessKernelBackend:
+    workers = parse_worker_count(arg, source=f'"multiprocess:{arg}"')
+    return MultiprocessKernelBackend(workers=workers)
+
 
 register_backend(
     "multiprocess",
     MultiprocessKernelBackend,
-    parameterized=lambda arg: MultiprocessKernelBackend(workers=int(arg)),
+    parameterized=_multiprocess_from_arg,
 )
 
 __all__ = [

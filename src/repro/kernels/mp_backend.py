@@ -63,11 +63,33 @@ from repro.kernels.base import KernelBackend
 WORKERS_ENV_VAR = "REPRO_MP_WORKERS"
 
 
+def parse_worker_count(value: str, *, source: str = WORKERS_ENV_VAR) -> int:
+    """Parse a worker-count string, rejecting junk with a clear error.
+
+    Raises :class:`ValueError` naming the offending ``source`` (the env
+    var or the ``"multiprocess:N"`` spelling) for non-integer or < 1
+    values, instead of letting ``int()`` / pool setup crash deep inside
+    a run with an inscrutable traceback.
+    """
+    try:
+        workers = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid worker count {value!r} from {source}: "
+            "expected an integer >= 1"
+        ) from None
+    if workers < 1:
+        raise ValueError(
+            f"invalid worker count {workers} from {source}: must be >= 1"
+        )
+    return workers
+
+
 def default_worker_count() -> int:
     """Worker-pool size: ``$REPRO_MP_WORKERS`` or ``min(8, cpu_count)``."""
     env = os.environ.get(WORKERS_ENV_VAR)
     if env:
-        return max(1, int(env))
+        return parse_worker_count(env)
     return max(1, min(8, os.cpu_count() or 1))
 
 

@@ -31,7 +31,8 @@ from repro.mgl.curves import (
 )
 from repro.mgl.insertion import InsertionPoint, enumerate_insertion_points
 from repro.mgl.shifting import ShiftOutcome, shift_cells_original
-from repro.mgl.local_region import build_local_region, initial_window
+from repro.mgl.local_region import RegionBuilder, build_local_region, initial_window
+from repro.mgl.window_planner import plan_initial_window, window_is_promising
 from repro.mgl.premove import premove
 from repro.mgl.fop import FOPConfig, FOPResult, find_optimal_position
 from repro.mgl.update import commit_placement
@@ -47,8 +48,11 @@ __all__ = [
     "enumerate_insertion_points",
     "ShiftOutcome",
     "shift_cells_original",
+    "RegionBuilder",
     "build_local_region",
     "initial_window",
+    "plan_initial_window",
+    "window_is_promising",
     "premove",
     "FOPConfig",
     "FOPResult",

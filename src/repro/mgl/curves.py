@@ -27,7 +27,6 @@ number of breakpoints per insertion point is typically a few dozen.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 

@@ -33,8 +33,14 @@ from repro.geometry.row import legal_bottom_rows
 from repro.kernels import BackendSpec, resolve_backend
 from repro.legality.metrics import DisplacementStats, PlacementMetrics
 from repro.mgl.fop import FOPConfig, find_optimal_position
-from repro.mgl.local_region import build_local_region, initial_window, region_transfer_words
+from repro.mgl.local_region import RegionBuilder, region_transfer_words
 from repro.mgl.premove import premove
+from repro.mgl.window_planner import (
+    DEFAULT_GROWTH,
+    DEFAULT_MAX_GROWTHS,
+    DEFAULT_SLACK,
+    plan_initial_window,
+)
 from repro.mgl.update import commit_placement
 from repro.perf.counters import LegalizationTrace, TargetCellWork
 
@@ -89,7 +95,14 @@ class MGLLegalizer:
     ordering:
         Processing-ordering function; defaults to size-descending.
     window_width_factor / window_min_width / window_extra_rows:
-        Initial search-window sizing around each target.
+        Initial (geometric) search-window sizing around each target.
+    window_slack / planner_growth / planner_max_growths / use_window_planner:
+        Occupancy-aware window planning (:mod:`repro.mgl.window_planner`):
+        the geometric window is grown until it provably contains
+        ``(1 + window_slack)`` times the target's free-capacity needs,
+        by ``planner_growth`` per step, at most ``planner_max_growths``
+        times.  ``use_window_planner=False`` restores the blind
+        geometric window.
     window_expansion:
         Multiplicative growth applied to the window on each retry.
     max_retries:
@@ -109,6 +122,10 @@ class MGLLegalizer:
         window_width_factor: float = 5.0,
         window_min_width: float = 24.0,
         window_extra_rows: int = 3,
+        window_slack: float = DEFAULT_SLACK,
+        planner_growth: float = DEFAULT_GROWTH,
+        planner_max_growths: int = DEFAULT_MAX_GROWTHS,
+        use_window_planner: bool = True,
         window_expansion: float = 1.8,
         max_retries: int = 4,
         metrics: Optional[PlacementMetrics] = None,
@@ -128,6 +145,10 @@ class MGLLegalizer:
         self.window_width_factor = window_width_factor
         self.window_min_width = window_min_width
         self.window_extra_rows = window_extra_rows
+        self.window_slack = window_slack
+        self.planner_growth = planner_growth
+        self.planner_max_growths = planner_max_growths
+        self.use_window_planner = use_window_planner
         self.window_expansion = window_expansion
         self.max_retries = max_retries
         self.metrics = metrics or PlacementMetrics(
@@ -137,13 +158,17 @@ class MGLLegalizer:
 
     # ------------------------------------------------------------------
     def window_params(self) -> dict:
-        """Initial-window sizing, keyword-compatible with
-        :func:`repro.mgl.local_region.initial_window` and
+        """Initial-window planning parameters, keyword-compatible with
+        :func:`repro.mgl.window_planner.plan_initial_window` and
         :func:`repro.core.task_assignment.plan_shards`."""
         return dict(
             width_factor=self.window_width_factor,
             min_width=self.window_min_width,
             extra_rows=self.window_extra_rows,
+            slack=self.window_slack,
+            growth=self.planner_growth,
+            max_growths=self.planner_max_growths,
+            use_planner=self.use_window_planner,
         )
 
     def with_backend(self, backend: BackendSpec) -> "MGLLegalizer":
@@ -159,6 +184,10 @@ class MGLLegalizer:
             window_width_factor=self.window_width_factor,
             window_min_width=self.window_min_width,
             window_extra_rows=self.window_extra_rows,
+            window_slack=self.window_slack,
+            planner_growth=self.planner_growth,
+            planner_max_growths=self.planner_max_growths,
+            use_window_planner=self.use_window_planner,
             window_expansion=self.window_expansion,
             max_retries=self.max_retries,
             metrics=self.metrics,
@@ -225,15 +254,14 @@ class MGLLegalizer:
     def _legalize_cell(self, layout: Layout, target: Cell) -> Tuple[bool, TargetCellWork]:
         """Legalize one target cell (steps c–e with window retries)."""
         work = TargetCellWork(cell_index=target.index, height=target.height, width=target.width)
-        window = initial_window(
-            layout,
-            target,
-            width_factor=self.window_width_factor,
-            min_width=self.window_min_width,
-            extra_rows=self.window_extra_rows,
-        )
+        window, growths = plan_initial_window(layout, target, **self.window_params())
+        work.planner_growths = growths
+        # One builder per target: retries grow the window monotonically,
+        # so each retry rescans only the newly exposed strips and reuses
+        # the per-row obstacle lists already gathered for the region.
+        builder = RegionBuilder(layout, target)
         for retry in range(self.max_retries + 1):
-            region, scanned = build_local_region(layout, target, window)
+            region, scanned = builder.build(window)
             work.window_retries = retry
             work.final_window = (window.x_lo, window.x_hi, window.row_lo, window.row_hi)
             work.n_local_cells = len(region.local_cells)

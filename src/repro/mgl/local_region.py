@@ -14,7 +14,7 @@ FPGA (Sec. 3.1.1).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.geometry.cell import Cell
 from repro.geometry.interval import Interval, subtract_intervals
@@ -48,96 +48,177 @@ def initial_window(
     )
 
 
+class RegionBuilder:
+    """Incremental localRegion extraction across one target's retry ladder.
+
+    The expensive part of step (c) is the per-row obstacle scan.  A
+    window *retry* strictly grows the window, so the builder caches each
+    row's scanned cell list together with the x-extent it covers and, on
+    the next build, scans only the newly exposed strips (new rows, and
+    the left/right extensions of already-scanned rows).  Classification
+    and demotion always rerun on the merged lists — window containment
+    changes with the window — so the produced region is identical, cell
+    order included, to a from-scratch :func:`build_local_region` call.
+
+    The cache assumes the layout does not change between builds, which
+    holds inside one target's retry ladder (nothing commits until the
+    target is placed).  Use one builder per target.
+    """
+
+    def __init__(self, layout: Layout, target: Cell) -> None:
+        self.layout = layout
+        self.target = target
+        #: row -> (scanned_x_lo, scanned_x_hi, cells sorted by (x, index)).
+        self._scans: Dict[int, Tuple[float, float, List[Cell]]] = {}
+
+    # ------------------------------------------------------------------
+    def _scan_row(self, row: int, x_lo: float, x_hi: float) -> Tuple[List[Cell], int]:
+        """Row scan covering ``[x_lo, x_hi)``, reusing the cached extent.
+
+        Returns the merged cell list plus the number of cells examined by
+        the *new* strip scans (the incremental work measure).
+        """
+        layout = self.layout
+        cached = self._scans.get(row)
+        if cached is None:
+            cells = layout.obstacles_in_row_window(row, x_lo, x_hi)
+            self._scans[row] = (x_lo, x_hi, cells)
+            return cells, len(cells)
+        old_lo, old_hi, cells = cached
+        if x_lo >= old_lo and x_hi <= old_hi:
+            return cells, 0
+        scanned = 0
+        merged = {cell.index: cell for cell in cells}
+        if x_lo < old_lo:
+            # Left strip: keep boundary cells (x == old_lo) so zero-width
+            # markers sitting exactly on the old edge are not lost.
+            for cell in layout.obstacles_in_row(row):
+                if cell.x > old_lo:
+                    break
+                scanned += 1
+                if cell.right > x_lo:
+                    merged[cell.index] = cell
+        if x_hi > old_hi:
+            # Right strip: keep boundary cells (right == old_hi) so
+            # zero-width markers sitting exactly on the old edge are not
+            # lost (obstacles_in_row_window would drop right == x_lo).
+            for cell in layout.obstacles_in_row(row):
+                if cell.x >= x_hi:
+                    break
+                scanned += 1
+                if cell.right >= old_hi:
+                    merged[cell.index] = cell
+        cells = sorted(merged.values(), key=lambda c: (c.x, c.index))
+        self._scans[row] = (min(x_lo, old_lo), max(x_hi, old_hi), cells)
+        return cells, scanned
+
+    # ------------------------------------------------------------------
+    def build(self, window: Window) -> Tuple[LocalRegion, int]:
+        """Extract the localRegion of the target inside ``window``.
+
+        Returns the region plus the number of obstacle cells examined by
+        this build (only newly exposed strips for incremental rebuilds).
+        """
+        layout, target = self.layout, self.target
+        scanned = 0
+        window_x = Interval(window.x_lo, window.x_hi)
+
+        # Gather the obstacle cells touching each window row.  Obstacles
+        # that are not fully contained in the window (or are fixed) always
+        # clip the row's free span; fully-contained legalized cells start
+        # out as localCell candidates, but any candidate that ends up
+        # outside the chosen segments must be demoted to a blockage and
+        # the segments recomputed — otherwise it would be invisible to FOP
+        # and the target could be placed on top of it.
+        row_obstacles: Dict[int, List] = {}
+        forced_holes: Dict[int, List[Interval]] = {}
+        candidates: Dict[int, object] = {}
+        for row in window.rows():
+            row_interval = layout.row_span_interval(row).intersect(window_x)
+            if row_interval.empty:
+                continue
+            cells_here, row_scanned = self._scan_row(row, window.x_lo, window.x_hi)
+            scanned += row_scanned
+            row_obstacles[row] = cells_here
+            forced_holes[row] = []
+            for cell in cells_here:
+                if cell.index == target.index:
+                    continue
+                if cell.right <= window.x_lo or cell.x >= window.x_hi:
+                    continue  # cached scan wider than this window
+                fully_inside = (
+                    not cell.fixed
+                    and window.contains_rect(cell.x, cell.y, cell.width, cell.height)
+                    and all(r in window.rows() for r in cell.rows_covered())
+                )
+                if fully_inside:
+                    candidates[cell.index] = cell
+                else:
+                    forced_holes[row].append(Interval(cell.x, cell.right))
+
+        demoted: set = set()
+        segments: Dict[int, LocalSegment] = {}
+        for _ in range(1 + len(candidates)):
+            # Recompute the per-row longest free run given the current holes.
+            segments = {}
+            for row, cells_here in row_obstacles.items():
+                row_interval = layout.row_span_interval(row).intersect(window_x)
+                holes = list(forced_holes[row])
+                holes.extend(
+                    Interval(c.x, c.right)
+                    for c in cells_here
+                    if c.index in demoted
+                )
+                free = subtract_intervals(row_interval, holes)
+                if not free:
+                    continue
+                longest = max(free, key=lambda iv: iv.length)
+                segments[row] = LocalSegment(row=row, interval=longest)
+            # Demote candidates that are not contained in the segments of
+            # every row they cover; repeat until stable.
+            newly_demoted = False
+            for index, cell in candidates.items():
+                if index in demoted:
+                    continue
+                contained = True
+                for r in cell.rows_covered():
+                    seg_r = segments.get(r)
+                    if seg_r is None or not seg_r.interval.contains_interval(
+                        Interval(cell.x, cell.right)
+                    ):
+                        contained = False
+                        break
+                if not contained:
+                    demoted.add(index)
+                    newly_demoted = True
+            if not newly_demoted:
+                break
+
+        region = LocalRegion(window=window, target=target)
+        for segment in segments.values():
+            region.add_segment(segment)
+        for index, cell in candidates.items():
+            if index not in demoted:
+                region.add_local_cell(cell)
+
+        region.finalize()
+        region.density = layout.window_density(
+            window.x_lo, window.x_hi, window.row_lo, window.row_hi
+        )
+        return region, scanned
+
+
 def build_local_region(
     layout: Layout, target: Cell, window: Window
 ) -> Tuple[LocalRegion, int]:
     """Extract the localRegion of ``target`` inside ``window``.
 
     Returns the region together with the number of obstacle cells scanned
-    (the work measure of step (c) consumed by the CPU cost model).
+    (the work measure of step (c) consumed by the CPU cost model).  One-
+    shot convenience over :class:`RegionBuilder`; the legalizer's retry
+    ladder holds a builder per target to rescan only the window deltas.
     """
-    scanned = 0
-    window_x = Interval(window.x_lo, window.x_hi)
-
-    # Gather the obstacle cells touching each window row once.  Obstacles
-    # that are not fully contained in the window (or are fixed) always clip
-    # the row's free span; fully-contained legalized cells start out as
-    # localCell candidates, but any candidate that ends up outside the
-    # chosen segments must be demoted to a blockage and the segments
-    # recomputed — otherwise it would be invisible to FOP and the target
-    # could be placed on top of it.
-    row_obstacles: Dict[int, List] = {}
-    forced_holes: Dict[int, List[Interval]] = {}
-    candidates: Dict[int, object] = {}
-    for row in window.rows():
-        row_interval = layout.row_span_interval(row).intersect(window_x)
-        if row_interval.empty:
-            continue
-        cells_here = layout.obstacles_in_row_window(row, window.x_lo, window.x_hi)
-        scanned += len(cells_here)
-        row_obstacles[row] = cells_here
-        forced_holes[row] = []
-        for cell in cells_here:
-            if cell.index == target.index:
-                continue
-            fully_inside = (
-                not cell.fixed
-                and window.contains_rect(cell.x, cell.y, cell.width, cell.height)
-                and all(r in window.rows() for r in cell.rows_covered())
-            )
-            if fully_inside:
-                candidates[cell.index] = cell
-            else:
-                forced_holes[row].append(Interval(cell.x, cell.right))
-
-    demoted: set = set()
-    segments: Dict[int, LocalSegment] = {}
-    for _ in range(1 + len(candidates)):
-        # Recompute the per-row longest free run given the current holes.
-        segments = {}
-        for row, cells_here in row_obstacles.items():
-            row_interval = layout.row_span_interval(row).intersect(window_x)
-            holes = list(forced_holes[row])
-            holes.extend(
-                Interval(c.x, c.right)
-                for c in cells_here
-                if c.index in demoted
-            )
-            free = subtract_intervals(row_interval, holes)
-            if not free:
-                continue
-            longest = max(free, key=lambda iv: iv.length)
-            segments[row] = LocalSegment(row=row, interval=longest)
-        # Demote candidates that are not contained in the segments of every
-        # row they cover; repeat until stable.
-        newly_demoted = False
-        for index, cell in candidates.items():
-            if index in demoted:
-                continue
-            contained = True
-            for r in cell.rows_covered():
-                seg_r = segments.get(r)
-                if seg_r is None or not seg_r.interval.contains_interval(
-                    Interval(cell.x, cell.right)
-                ):
-                    contained = False
-                    break
-            if not contained:
-                demoted.add(index)
-                newly_demoted = True
-        if not newly_demoted:
-            break
-
-    region = LocalRegion(window=window, target=target)
-    for segment in segments.values():
-        region.add_segment(segment)
-    for index, cell in candidates.items():
-        if index not in demoted:
-            region.add_local_cell(cell)
-
-    region.finalize()
-    region.density = layout.window_density(window.x_lo, window.x_hi, window.row_lo, window.row_hi)
-    return region, scanned
+    return RegionBuilder(layout, target).build(window)
 
 
 def region_transfer_words(region: LocalRegion) -> int:

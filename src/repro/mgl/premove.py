@@ -9,7 +9,6 @@ is inherently serial and cheap, which is why FLEX keeps it on the CPU
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.geometry.cell import Cell
 from repro.geometry.layout import Layout

@@ -107,6 +107,10 @@ class TargetCellWork:
     n_rows: int = 0
     n_insertion_points: int = 0
     window_retries: int = 0
+    planner_growths: int = 0
+    """Number of growth steps the occupancy-aware window planner applied
+    to the geometric base window before retry 0 (0 when the base window
+    already held enough free capacity, or the planner was disabled)."""
     fallback_used: bool = False
     region_density: float = 0.0
     region_transfer_words: int = 0
@@ -122,6 +126,12 @@ class TargetCellWork:
     def add_insertion_point(self, work: InsertionPointWork) -> None:
         self.insertion_points.append(work)
         self.n_insertion_points = len(self.insertion_points)
+
+    @property
+    def retry0_feasible(self) -> bool:
+        """True when the planned retry-0 window already admitted the cell
+        (no window-expansion retry and no whole-chip fallback)."""
+        return self.window_retries == 0 and not self.fallback_used
 
     @property
     def total_shift_visits(self) -> int:
@@ -201,6 +211,34 @@ class LegalizationTrace:
     def total_regions(self) -> int:
         """Number of localRegions built (window retries build new regions)."""
         return sum(1 + t.window_retries for t in self.targets)
+
+    # --- window-planning feasibility counters -------------------------
+    @property
+    def retry0_feasible_targets(self) -> int:
+        """Targets legalized inside their planned retry-0 window."""
+        return sum(1 for t in self.targets if t.retry0_feasible)
+
+    @property
+    def retry0_feasibility_rate(self) -> float:
+        """Fraction of targets whose planned window held at retry 0."""
+        if not self.targets:
+            return 1.0
+        return self.retry0_feasible_targets / len(self.targets)
+
+    @property
+    def retries_total(self) -> int:
+        """Total window-expansion retries paid across all targets."""
+        return sum(t.window_retries for t in self.targets)
+
+    @property
+    def planner_growths_total(self) -> int:
+        """Total growth steps applied by the window planner."""
+        return sum(t.planner_growths for t in self.targets)
+
+    @property
+    def fallback_targets(self) -> int:
+        """Targets that escaped to the whole-chip free-space fallback."""
+        return sum(1 for t in self.targets if t.fallback_used)
 
     @property
     def total_transfer_words(self) -> int:

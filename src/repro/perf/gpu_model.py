@@ -24,8 +24,8 @@ maximum plus the serial host steps.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.perf.cost_model import CpuCostModel
 from repro.perf.counters import LegalizationTrace, TargetCellWork

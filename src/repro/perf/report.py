@@ -8,7 +8,7 @@ comparisons are easy to eyeball (and to paste into EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 def format_table(
@@ -119,6 +119,26 @@ def shard_summary(trace) -> str:
     if stats.get("sequential_rerun"):
         parts.append("sequential-rerun")
     return " ".join(parts)
+
+
+def feasibility_summary(trace) -> str:
+    """One-line window-planning feasibility summary of a trace.
+
+    Reports the retry-0 feasibility rate (targets whose planned window
+    admitted them without any expansion retry), the total expansion
+    retries paid, the planner growth steps spent buying that rate, and
+    the whole-chip fallbacks — the counters the occupancy-aware window
+    planner is meant to move.
+    """
+    n = len(trace.targets)
+    return (
+        f"targets={n} "
+        f"retry0_feasible={trace.retry0_feasible_targets}"
+        f" ({trace.retry0_feasibility_rate * 100.0:.1f}%) "
+        f"retries_total={trace.retries_total} "
+        f"planner_growths={trace.planner_growths_total} "
+        f"fallbacks={trace.fallback_targets}"
+    )
 
 
 def geometric_mean(values: Sequence[float]) -> float:

@@ -16,7 +16,7 @@ update time moves to the device and its results must be shipped back).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ from repro.core import FlexConfig, FlexLegalizer, SlidingWindowOrdering
 from repro.core.ordering import DensityGrid
 from repro.core.pipeline import PipelineOrganization
 from repro.core.sacs import SortAheadShifter
-from repro.legality import LegalityChecker, PlacementMetrics
+from repro.legality import LegalityChecker
 from repro.mgl import MGLLegalizer
 from repro.mgl.fop import FOPConfig
 from repro.mgl.legalizer import size_descending_order
@@ -133,7 +133,7 @@ class TestFlexLegalizer:
         assert flex.average_displacement <= mgl.average_displacement * 1.05
 
     def test_faster_than_cpu_baseline(self, tiny_design):
-        from repro.perf import CpuCostModel, MultiThreadModel
+        from repro.perf import MultiThreadModel
 
         flex = FlexLegalizer().legalize(tiny_design)
         cpu_8t = MultiThreadModel(threads=8).runtime_seconds(flex.trace)

@@ -66,12 +66,33 @@ class TestConfiguration:
             MultiprocessKernelBackend(workers=-1)
         with pytest.raises(ValueError, match="workers"):
             MultiprocessKernelBackend(workers=0)
-        with pytest.raises(KeyError, match="invalid argument"):
-            get_kernel_backend("multiprocess:0")
         with pytest.raises(ValueError, match="strategy"):
             MultiprocessKernelBackend(strategy="magic")
         with pytest.raises(ValueError, match="sequential"):
             MultiprocessKernelBackend(inner="multiprocess")
+
+    def test_invalid_parameterized_worker_counts_rejected(self):
+        # Non-integer and < 1 "multiprocess:N" spellings raise a clear
+        # ValueError naming the offending spelling (not a registry
+        # KeyError, and not a crash deep inside pool setup).
+        with pytest.raises(ValueError, match="multiprocess:0"):
+            get_kernel_backend("multiprocess:0")
+        with pytest.raises(ValueError, match="multiprocess:x"):
+            get_kernel_backend("multiprocess:x")
+        with pytest.raises(ValueError, match=">= 1"):
+            get_kernel_backend("multiprocess:-3")
+
+    def test_invalid_env_worker_counts_rejected(self, monkeypatch):
+        for junk in ("zero", "1.5", "0", "-2", ""):
+            monkeypatch.setenv(WORKERS_ENV_VAR, junk)
+            if junk == "":
+                # Empty string falls back to the cpu-count default.
+                assert default_worker_count() >= 1
+                continue
+            with pytest.raises(ValueError, match=WORKERS_ENV_VAR):
+                default_worker_count()
+            with pytest.raises(ValueError, match=WORKERS_ENV_VAR):
+                MultiprocessKernelBackend()
 
     def test_inner_defaults_to_fastest_sequential_backend(self):
         backend = MultiprocessKernelBackend(workers=2)

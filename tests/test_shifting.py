@@ -17,7 +17,6 @@ from repro.benchgen import DesignSpec, generate_design
 from repro.core.sacs import SortAheadShifter, build_sacs_context, shift_cells_sacs
 from repro.geometry import Cell, Window
 from repro.mgl.insertion import (
-    InsertionPoint,
     candidate_bottom_rows,
     enumerate_all_insertion_points,
     enumerate_insertion_points,
