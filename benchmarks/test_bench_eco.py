@@ -1,0 +1,65 @@
+"""Benchmark: ECO churn sweep (incremental engine vs full re-runs).
+
+Regenerates the churn-sweep experiment on one dense ICCAD-like design,
+records the wall times into the pytest-benchmark output *and* into
+``BENCH_eco_churn.json`` (uploaded as a CI artifact, gated by
+``benchmarks/check_regression.py``), and asserts the incremental
+engine's headline: at <= 5 % churn it must beat the full re-run by at
+least 3x — the acceptance bar of the incremental subsystem — whenever
+the design is large enough for per-call overheads not to dominate.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.eco_churn import run_eco_churn
+from repro.testing.bench import BENCH_SCALE, BENCH_SEED, run_once
+
+#: Speedup the incremental engine must deliver at <= 5 % churn.
+MIN_LOW_CHURN_SPEEDUP = 3.0
+#: Designs below this movable-cell count are too small for the assertion
+#: (fixed per-call costs — metric recomputation, trace setup — dominate).
+MIN_CELLS_FOR_ASSERT = 80
+
+
+def test_bench_eco_churn_sweep(benchmark):
+    scale = min(4 * BENCH_SCALE, 0.01)
+    result = run_once(
+        benchmark,
+        run_eco_churn,
+        "des_perf_1",
+        scale=scale,
+        seed=BENCH_SEED,
+        churn_rates=(0.02, 0.05, 0.25),
+        batches=2,
+    )
+    print()
+    print(result.format())
+
+    num_cells = int(round(112644 * scale))  # des_perf_1 published size x scale
+    payload = {
+        "design": "des_perf_1",
+        "scale": scale,
+        "approx_cells": num_cells,
+        "rows": [
+            dict(zip(result.headers, row))
+            for row in result.rows
+        ],
+    }
+    benchmark.extra_info["eco_churn"] = payload
+    with open("BENCH_eco_churn.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+    speedups = {row[0]: row[5] for row in result.rows}
+    avedis = {row[0]: (row[6], row[7]) for row in result.rows}
+    # Quality parity: reusing clean placements must not blow up AveDis.
+    for churn, (inc, full) in avedis.items():
+        assert inc <= full * 1.5 + 0.1, (
+            f"AveDis parity lost at churn {churn}%: inc={inc} full={full}"
+        )
+    if num_cells >= MIN_CELLS_FOR_ASSERT:
+        low_churn = [s for churn, s in speedups.items() if churn <= 5.0]
+        assert low_churn and max(low_churn) >= MIN_LOW_CHURN_SPEEDUP, (
+            f"expected >= {MIN_LOW_CHURN_SPEEDUP}x at <= 5% churn, got {speedups}"
+        )

@@ -18,6 +18,7 @@ A ``scale`` parameter shrinks cell counts so that pure-Python experiments
 finish quickly; density and height mix are preserved under scaling.
 """
 
+from repro.benchgen.eco import EcoSpec, generate_eco_batch, generate_eco_stream
 from repro.benchgen.generator import DesignSpec, generate_design
 from repro.benchgen.iccad2017 import (
     ICCAD2017_BENCHMARKS,
@@ -29,6 +30,9 @@ from repro.benchgen.iccad2017 import (
 __all__ = [
     "DesignSpec",
     "generate_design",
+    "EcoSpec",
+    "generate_eco_batch",
+    "generate_eco_stream",
     "BenchmarkInfo",
     "ICCAD2017_BENCHMARKS",
     "iccad2017_design",

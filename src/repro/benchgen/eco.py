@@ -1,0 +1,176 @@
+"""Seeded ECO delta-stream generation at configurable churn rates.
+
+The incremental engine's workload is a *delta stream*: batches of small
+edits against an already-legal design.  This module generates realistic
+streams deterministically from a seed, so the equivalence suites, the
+churn-sweep experiment and the ``repro eco --generate`` CLI all draw the
+same traffic:
+
+* most deltas are **moves** — a cell's desired position drifts by a
+  Gaussian step, the dominant ECO after timing fixes re-place logic;
+* some are **resizes** (gate up/down-sizing changes a cell's width);
+* a few **inserts** (buffer insertion) and **deletes** (logic removal);
+* optionally a **fixed-macro move** per batch, the nastiest ECO kind —
+  its new footprint evicts whatever committed placements it overlaps.
+
+The per-batch *churn* is the fraction of live movable cells touched
+directly; the dirty set the engine computes can be slightly larger
+(macro footprints dirty their neighbourhoods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.layout import Layout
+from repro.incremental.deltas import (
+    DeltaBatch,
+    DeleteCell,
+    InsertCell,
+    MoveCell,
+    ResizeCell,
+)
+from repro.incremental.engine import apply_deltas
+
+#: Height distribution of inserted cells (buffers are mostly short).
+_INSERT_HEIGHTS = (1, 1, 1, 1, 2, 2, 3)
+
+
+@dataclass
+class EcoSpec:
+    """Specification of one ECO delta stream.
+
+    Attributes
+    ----------
+    churn:
+        Fraction of live movable cells directly touched per batch.
+    batches:
+        Number of delta batches in the stream.
+    seed:
+        RNG seed; generation is fully deterministic given the spec and
+        the base layout.
+    move_fraction / resize_fraction / insert_fraction / delete_fraction:
+        Relative mix of delta kinds (normalised automatically).
+    move_sigma_x / move_sigma_y:
+        Standard deviation of a move's Gaussian drift, in sites / rows.
+    macro_move_probability:
+        Probability that a batch additionally moves one fixed macro by a
+        small step (only when the design has fixed macros).
+    """
+
+    churn: float = 0.02
+    batches: int = 1
+    seed: int = 0
+    move_fraction: float = 0.70
+    resize_fraction: float = 0.12
+    insert_fraction: float = 0.10
+    delete_fraction: float = 0.08
+    move_sigma_x: float = 4.0
+    move_sigma_y: float = 1.0
+    macro_move_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.churn <= 1.0:
+            raise ValueError(f"churn must be in (0, 1], got {self.churn}")
+        if self.batches < 1:
+            raise ValueError(f"batches must be >= 1, got {self.batches}")
+        total = (self.move_fraction + self.resize_fraction
+                 + self.insert_fraction + self.delete_fraction)
+        if total <= 0:
+            raise ValueError("delta-kind fractions must sum to a positive value")
+
+
+def generate_eco_batch(
+    layout: Layout, spec: EcoSpec, rng: Optional[np.random.Generator] = None
+) -> DeltaBatch:
+    """Generate one delta batch against the *current* state of ``layout``.
+
+    The batch references live cell indexes, so it must be applied before
+    the next batch is generated (use :func:`generate_eco_stream` for a
+    whole pre-generated stream).
+    """
+    rng = np.random.default_rng(spec.seed) if rng is None else rng
+    movable = [c for c in layout.cells if not c.fixed and c.width > 0]
+    if not movable:
+        return []
+    k = max(1, int(round(spec.churn * len(movable))))
+    k = min(k, len(movable))
+    victims = rng.choice(len(movable), size=k, replace=False)
+
+    total = (spec.move_fraction + spec.resize_fraction
+             + spec.insert_fraction + spec.delete_fraction)
+    p_move = spec.move_fraction / total
+    p_resize = p_move + spec.resize_fraction / total
+    p_insert = p_resize + spec.insert_fraction / total
+
+    batch: DeltaBatch = []
+    for pick in victims:
+        cell = movable[int(pick)]
+        kind = float(rng.random())
+        if kind < p_move:
+            batch.append(
+                MoveCell(
+                    cell.index,
+                    float(cell.gp_x + rng.normal(0.0, spec.move_sigma_x)),
+                    float(cell.gp_y + rng.normal(0.0, spec.move_sigma_y)),
+                )
+            )
+        elif kind < p_resize:
+            step = 1.0 if rng.random() < 0.5 else -1.0
+            batch.append(
+                ResizeCell(cell.index, width=float(max(1.0, cell.width + step)))
+            )
+        elif kind < p_insert:
+            width = float(rng.integers(1, 5))
+            height = int(_INSERT_HEIGHTS[int(rng.integers(0, len(_INSERT_HEIGHTS)))])
+            batch.append(
+                InsertCell(
+                    width=width,
+                    height=height,
+                    gp_x=float(rng.uniform(0.0, max(1.0, layout.width - width))),
+                    gp_y=float(rng.uniform(0.0, max(1.0, layout.num_rows - height))),
+                )
+            )
+        else:
+            batch.append(DeleteCell(cell.index))
+
+    if spec.macro_move_probability > 0.0:
+        macros = [
+            c for c in layout.cells if c.fixed and not layout.is_retired(c)
+        ]
+        if macros and float(rng.random()) < spec.macro_move_probability:
+            macro = macros[int(rng.integers(0, len(macros)))]
+            batch.append(
+                MoveCell(
+                    macro.index,
+                    float(macro.x + rng.normal(0.0, spec.move_sigma_x)),
+                    float(macro.y + rng.normal(0.0, spec.move_sigma_y)),
+                )
+            )
+    return batch
+
+
+def generate_eco_stream(layout: Layout, spec: EcoSpec) -> List[DeltaBatch]:
+    """Generate ``spec.batches`` consecutive delta batches.
+
+    Later batches reference cells inserted by earlier ones, so the
+    stream is evolved against a scratch copy of the layout (the caller's
+    layout is untouched).  The result can be serialized with
+    :func:`repro.incremental.deltas.save_delta_stream` and replayed
+    against any copy of the base design.
+    """
+    rng = np.random.default_rng(spec.seed)
+    scratch = layout.copy()
+    scratch.rebuild_index()
+    stream: List[DeltaBatch] = []
+    for _ in range(spec.batches):
+        batch = generate_eco_batch(scratch, spec, rng)
+        apply_deltas(scratch, batch)
+        # The scratch's dirty cells are left floating — they are only
+        # there to keep indexes/footprints evolving; position realism of
+        # later batches does not require re-legalizing the scratch.
+        stream.append(batch)
+    return stream

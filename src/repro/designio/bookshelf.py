@@ -5,9 +5,26 @@ so that generated designs and legalization results can be inspected,
 diffed and re-loaded without external tooling::
 
     # repro-cells 1
-    chip <num_rows> <num_sites>
+    chip <num_rows> <num_sites> [<name> [<site_width> <row_height>]]
     cell <name> <width> <height> <gp_x> <gp_y> <x> <y> <fixed> <legalized>
     ...
+
+Parsing conveniences (round-trippable files stay canonical, hand-written
+ones get slack):
+
+* blank lines are ignored anywhere, and lines starting with ``#`` after
+  the header are comments;
+* a cell line may end with a bookshelf-style ``/FIXED`` marker, which
+  forces the cell fixed; with the marker the two trailing flag fields
+  may be omitted entirely (``cell n w h gpx gpy x y /FIXED``);
+* malformed input raises :class:`ValueError` naming the file, the line
+  number and the offending text.
+
+Floats are written with ``repr`` so every position survives a save /
+load round trip exactly (``repr`` is the shortest exact decimal form).
+The format is whitespace-delimited, so whitespace inside a design name
+is replaced with ``_`` on save (use the JSON format when exact names
+matter).
 """
 
 from __future__ import annotations
@@ -19,15 +36,25 @@ from repro.geometry.cell import Cell
 from repro.geometry.layout import Layout
 
 _HEADER = "# repro-cells 1"
+#: Bookshelf ``.pl``-style marker accepted at the end of a cell line.
+_FIXED_MARKER = "/FIXED"
 
 
 def save_cells(layout: Layout, path: Union[str, Path]) -> None:
     """Write a layout to a ``.cells`` text file."""
     path = Path(path)
-    lines = [_HEADER, f"chip {layout.num_rows} {layout.num_sites} {layout.name}"]
+    # The chip line is whitespace-delimited, so the (user-controlled)
+    # design name must be a single token or the trailing site/row
+    # dimensions would be unparseable.
+    name = "_".join(str(layout.name).split()) or "design"
+    lines = [
+        _HEADER,
+        f"chip {layout.num_rows} {layout.num_sites} {name} "
+        f"{layout.site_width!r} {layout.row_height!r}",
+    ]
     for cell in layout.cells:
         lines.append(
-            "cell {name} {w:g} {h} {gpx:.10g} {gpy:.10g} {x:.10g} {y:.10g} {fixed:d} {leg:d}".format(
+            "cell {name} {w!r} {h} {gpx!r} {gpy!r} {x!r} {y!r} {fixed:d} {leg:d}".format(
                 name=cell.name,
                 w=cell.width,
                 h=cell.height,
@@ -42,33 +69,99 @@ def save_cells(layout: Layout, path: Union[str, Path]) -> None:
     path.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 
-def load_cells(path: Union[str, Path]) -> Layout:
-    """Read a layout from a ``.cells`` text file."""
-    path = Path(path)
-    lines = [line.strip() for line in path.read_text(encoding="utf-8").splitlines() if line.strip()]
-    if not lines or lines[0] != _HEADER:
-        raise ValueError(f"{path}: not a repro-cells file (missing header)")
-    chip_parts = lines[1].split()
-    if chip_parts[0] != "chip" or len(chip_parts) < 3:
-        raise ValueError(f"{path}: malformed chip line: {lines[1]!r}")
-    num_rows, num_sites = int(chip_parts[1]), int(chip_parts[2])
-    name = chip_parts[3] if len(chip_parts) > 3 else path.stem
-    layout = Layout(num_rows, num_sites, name=name)
-    for index, line in enumerate(lines[2:]):
-        parts = line.split()
-        if parts[0] != "cell" or len(parts) != 10:
-            raise ValueError(f"{path}: malformed cell line: {line!r}")
+def _parse_error(path: Path, lineno: int, message: str, line: str) -> ValueError:
+    return ValueError(f"{path}:{lineno}: {message}: {line!r}")
+
+
+def _parse_cell_line(path: Path, lineno: int, line: str, index: int) -> Cell:
+    parts = line.split()
+    fixed_marker = False
+    if parts and parts[-1].upper() == _FIXED_MARKER:
+        fixed_marker = True
+        parts = parts[:-1]
+    if not parts or parts[0] != "cell":
+        raise _parse_error(path, lineno, "expected a 'cell' line", line)
+    if len(parts) == 8 and fixed_marker:
+        # Short macro form: flags come from the marker.
+        flag_fixed, flag_legalized = True, False
+    elif len(parts) == 10:
+        if parts[8] not in ("0", "1") or parts[9] not in ("0", "1"):
+            raise _parse_error(
+                path, lineno, "fixed/legalized flags must be 0 or 1", line
+            )
+        flag_fixed = parts[8] == "1" or fixed_marker
+        flag_legalized = parts[9] == "1"
+    else:
+        raise _parse_error(
+            path,
+            lineno,
+            "malformed cell line (expected 'cell <name> <w> <h> <gp_x> <gp_y> "
+            "<x> <y> <fixed> <legalized>' or 'cell <name> <w> <h> <gp_x> "
+            "<gp_y> <x> <y> /FIXED')",
+            line,
+        )
+    try:
+        width = float(parts[2])
+        height = int(parts[3])
+        gp_x, gp_y, x, y = (float(v) for v in parts[4:8])
+    except ValueError:
+        raise _parse_error(path, lineno, "non-numeric cell geometry", line) from None
+    try:
         cell = Cell(
             index=index,
             name=parts[1],
-            width=float(parts[2]),
-            height=int(parts[3]),
-            gp_x=float(parts[4]),
-            gp_y=float(parts[5]),
-            x=float(parts[6]),
-            y=float(parts[7]),
-            fixed=bool(int(parts[8])),
-            legalized=bool(int(parts[9])),
+            width=width,
+            height=height,
+            gp_x=gp_x,
+            gp_y=gp_y,
+            x=x,
+            y=y,
+            fixed=flag_fixed,
+            legalized=flag_legalized,
         )
-        layout.add_cell(cell)
+    except ValueError as exc:
+        raise _parse_error(path, lineno, str(exc), line) from None
+    return cell
+
+
+def load_cells(path: Union[str, Path]) -> Layout:
+    """Read a layout from a ``.cells`` text file.
+
+    Blank lines and ``#`` comments are skipped; malformed lines raise
+    :class:`ValueError` with the file name and line number.
+    """
+    path = Path(path)
+    numbered = [
+        (lineno, line.strip())
+        for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1)
+        if line.strip()
+    ]
+    if not numbered or numbered[0][1] != _HEADER:
+        raise ValueError(f"{path}: not a repro-cells file (missing '{_HEADER}' header)")
+    body = [(no, line) for no, line in numbered[1:] if not line.startswith("#")]
+    if not body:
+        raise ValueError(f"{path}: missing 'chip' line after the header")
+    chip_no, chip_line = body[0]
+    chip_parts = chip_line.split()
+    if chip_parts[0] != "chip" or len(chip_parts) < 3:
+        raise _parse_error(path, chip_no, "malformed chip line", chip_line)
+    try:
+        num_rows, num_sites = int(chip_parts[1]), int(chip_parts[2])
+    except ValueError:
+        raise _parse_error(
+            path, chip_no, "chip dimensions must be integers", chip_line
+        ) from None
+    name = chip_parts[3] if len(chip_parts) > 3 else path.stem
+    try:
+        site_width = float(chip_parts[4]) if len(chip_parts) > 4 else 1.0
+        row_height = float(chip_parts[5]) if len(chip_parts) > 5 else 1.0
+    except ValueError:
+        raise _parse_error(
+            path, chip_no, "site_width/row_height must be numeric", chip_line
+        ) from None
+    layout = Layout(
+        num_rows, num_sites, name=name, site_width=site_width, row_height=row_height
+    )
+    for index, (lineno, line) in enumerate(body[1:]):
+        layout.add_cell(_parse_cell_line(path, lineno, line, index))
     return layout

@@ -53,8 +53,10 @@ def layout_from_dict(data: Dict[str, Any]) -> Layout:
                 height=entry["height"],
                 gp_x=entry["gp_x"],
                 gp_y=entry["gp_y"],
-                x=entry.get("x", entry["gp_x"]),
-                y=entry.get("y", entry["gp_y"]),
+                # Explicit positions are kept exactly (an explicit (0, 0)
+                # is a real position), so save -> load is the identity.
+                x=float(entry.get("x", entry["gp_x"])),
+                y=float(entry.get("y", entry["gp_y"])),
                 fixed=entry.get("fixed", False),
                 legalized=entry.get("legalized", False),
             )

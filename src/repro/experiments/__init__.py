@@ -24,6 +24,7 @@ from repro.experiments.fig8 import run_fig8_ladder
 from repro.experiments.fig9 import run_fig9_sacs
 from repro.experiments.fig10 import run_fig10_task_assignment
 from repro.experiments.scalability import run_scalability
+from repro.experiments.eco_churn import run_eco_churn
 from repro.experiments.runner import run_all
 
 __all__ = [
@@ -41,5 +42,6 @@ __all__ = [
     "run_fig9_sacs",
     "run_fig10_task_assignment",
     "run_scalability",
+    "run_eco_churn",
     "run_all",
 ]

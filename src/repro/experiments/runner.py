@@ -19,6 +19,7 @@ from repro.experiments.fig2 import run_fig2_parallelism, run_fig2_scaling, run_f
 from repro.experiments.fig6 import run_fig6_sorting_share
 from repro.experiments.fig8 import run_fig8_ladder
 from repro.experiments.fig9 import run_fig9_sacs
+from repro.experiments.eco_churn import run_eco_churn
 from repro.experiments.fig10 import run_fig10_task_assignment
 from repro.experiments.scalability import run_worker_scalability
 from repro.experiments.table1 import run_table1
@@ -32,6 +33,7 @@ def run_all(
     table1_names: Optional[Sequence[str]] = None,
     figure_names: Optional[Sequence[str]] = None,
     host_scaling: bool = False,
+    eco: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """Run every table / figure experiment and return the results by key."""
     figure_names = list(figure_names) if figure_names is not None else list(DEFAULT_FIGURE_BENCHMARKS)
@@ -47,6 +49,8 @@ def run_all(
     results["fig10"] = run_fig10_task_assignment(figure_names, scale=scale, seed=seed)
     if host_scaling:
         results["host_scaling"] = run_worker_scalability(scale=scale, seed=seed)
+    if eco:
+        results["eco_churn"] = run_eco_churn(scale=scale, seed=seed)
     return results
 
 
@@ -54,7 +58,7 @@ def format_report(results: Dict[str, ExperimentResult]) -> str:
     """Render all experiment results as one plain-text report."""
     blocks = []
     keys = ["table1", "table2", "fig2a", "fig2bc", "fig2g", "fig6g", "fig8", "fig9",
-            "fig10", "host_scaling"]
+            "fig10", "host_scaling", "eco_churn"]
     for key in keys:
         if key in results:
             blocks.append(results[key].format())
@@ -71,13 +75,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="use a 6-benchmark subset for Table 1 as well")
     parser.add_argument("--host-scaling", action="store_true",
                         help="also run the measured multiprocess worker sweep")
+    parser.add_argument("--eco", action="store_true",
+                        help="also run the ECO churn sweep (incremental vs full re-runs)")
     parser.add_argument("--output", type=str, default=None, help="write the report to this file")
     args = parser.parse_args(argv)
 
     table1_names = list(DEFAULT_FIGURE_BENCHMARKS) if args.quick else benchmark_names()
     start = time.perf_counter()
     results = run_all(scale=args.scale, seed=args.seed, table1_names=table1_names,
-                      host_scaling=args.host_scaling)
+                      host_scaling=args.host_scaling, eco=args.eco)
     report = format_report(results)
     report += f"\n\nharness wall time: {time.perf_counter() - start:.1f} s\n"
     if args.output:

@@ -12,7 +12,7 @@ one (paper Section 6, Related Works).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 
 @dataclass
@@ -36,7 +36,10 @@ class Cell:
         row units.  These never change during legalization.
     x, y:
         Current coordinates of the bottom-left corner.  ``y`` is a row
-        index once the cell has been pre-moved / legalized.
+        index once the cell has been pre-moved / legalized.  When omitted
+        (``None``) the cell starts at its global placement position;
+        an explicit value — including ``0.0`` — is kept exactly, so
+        copies and deserialized cells sitting at the origin survive.
     fixed:
         True for blockages and macros that legalization must not move.
     legalized:
@@ -48,8 +51,8 @@ class Cell:
     height: int
     gp_x: float
     gp_y: float
-    x: float = 0.0
-    y: float = 0.0
+    x: Optional[float] = None
+    y: Optional[float] = None
     fixed: bool = False
     legalized: bool = False
     name: str = field(default="")
@@ -64,10 +67,12 @@ class Cell:
         self.height = int(self.height)
         if not self.name:
             self.name = f"c{self.index}"
-        # A cell starts at its global placement location.
-        if self.x == 0.0 and self.y == 0.0 and (self.gp_x != 0.0 or self.gp_y != 0.0):
-            self.x = self.gp_x
-            self.y = self.gp_y
+        # A cell starts at its global placement location unless an
+        # explicit position was given.  (An explicit (0, 0) is a real
+        # position — the old "(0, 0) means unset" heuristic corrupted
+        # copies of cells legalized at the chip origin.)
+        self.x = self.gp_x if self.x is None else float(self.x)
+        self.y = self.gp_y if self.y is None else float(self.y)
 
     # ------------------------------------------------------------------
     # Geometry helpers

@@ -241,6 +241,104 @@ class Layout:
         cell.x = float(new_x)
         self._insert_into_index(cell)
 
+    # ------------------------------------------------------------------
+    # Incremental (ECO) mutation hooks
+    # ------------------------------------------------------------------
+    # These maintain the per-row obstacle index and invalidate the
+    # free-space summary only for the rows a change actually touches, so
+    # an incremental legalization pass never pays a whole-index /
+    # whole-summary rebuild (:mod:`repro.incremental` is the consumer).
+    def unlegalize_cell(self, cell: Cell) -> None:
+        """Mark a legalized cell as floating again (ECO re-legalization).
+
+        Removes the cell from the obstacle index; its position is left
+        untouched (pre-move will snap it when it is re-legalized).
+        """
+        if cell.fixed:
+            raise ValueError(f"cell {cell.name} is fixed; use set_cell_fixed first")
+        if cell.legalized:
+            self._remove_from_index(cell)
+            cell.legalized = False
+
+    def resize_cell(self, cell: Cell, width: Optional[float] = None,
+                    height: Optional[int] = None) -> None:
+        """Change a cell's dimensions, keeping the obstacle index consistent."""
+        width = cell.width if width is None else float(width)
+        height = cell.height if height is None else int(height)
+        if width < 0 or (width == 0 and not cell.fixed):
+            raise ValueError(f"cell {cell.name}: width must be positive, got {width}")
+        if height < 1:
+            raise ValueError(f"cell {cell.name}: height must be >= 1, got {height}")
+        in_index = cell.fixed or cell.legalized
+        if in_index:
+            self._remove_from_index(cell)
+        cell.width = width
+        cell.height = height
+        if in_index:
+            self._insert_into_index(cell)
+
+    def relocate_fixed(self, cell: Cell, x: float, y: float) -> None:
+        """Move a fixed blockage (an ECO macro change).
+
+        Unlike :meth:`move_obstacle` this is 2-D and only legal for fixed
+        cells; legalized movable cells must instead be unlegalized and
+        re-placed by the legalizer.
+        """
+        if not cell.fixed:
+            raise ValueError(f"cell {cell.name} is not fixed; use unlegalize_cell")
+        self._remove_from_index(cell)
+        cell.x = float(x)
+        cell.y = float(y)
+        self._insert_into_index(cell)
+
+    def set_cell_fixed(self, cell: Cell, fixed: bool) -> None:
+        """Toggle a cell's fixed flag, keeping the obstacle index consistent.
+
+        Freezing (``fixed=True``) keeps the cell at its current position
+        as a blockage; freeing (``fixed=False``) leaves the cell
+        unlegalized — the caller is expected to re-legalize it.
+        """
+        if cell.fixed == fixed:
+            return
+        if cell.fixed or cell.legalized:
+            self._remove_from_index(cell)
+        cell.fixed = fixed
+        cell.legalized = False
+        if fixed:
+            self._insert_into_index(cell)
+
+    def retire_cell(self, cell: Cell) -> None:
+        """Delete a cell from play by tombstoning it (ECO cell removal).
+
+        Cell indexes must stay stable (delta streams and the obstacle
+        index address cells by index), so deletion keeps the entry in
+        the cell list but turns it into a zero-width fixed marker — the
+        same degenerate shape already tolerated everywhere (zero
+        occupancy, skipped by the legality overlap sweep, zero area in
+        every metric).
+        """
+        if cell.fixed or cell.legalized:
+            self._remove_from_index(cell)
+        cell.width = 0.0
+        cell.fixed = True
+        cell.legalized = False
+        self._insert_into_index(cell)
+
+    def is_retired(self, cell: Cell) -> bool:
+        """True for cells deleted via :meth:`retire_cell` (tombstones)."""
+        return cell.fixed and cell.width == 0.0
+
+    def invalidate_summary_rows(self, row_lo: int, row_hi: int) -> None:
+        """Invalidate the free-space summary of rows ``[row_lo, row_hi)``.
+
+        The per-cell mutators above already invalidate the rows they
+        touch; this hook is for callers that edit row contents directly
+        (bulk loaders, tests) and would otherwise have to pay
+        :meth:`rebuild_index` just to refresh the summary.
+        """
+        for row in range(max(0, row_lo), min(self.num_rows, row_hi)):
+            self._row_prefix[row] = None
+
     def obstacles_in_row(self, row: int) -> List[Cell]:
         """Obstacle cells covering ``row``, sorted by current x."""
         return [self.cells[idx] for _, idx in self._row_index[row]]

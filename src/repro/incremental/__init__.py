@@ -1,0 +1,66 @@
+"""Incremental (ECO) legalization: delta workloads over a legal layout.
+
+The FLEX flow legalizes a placement once; real deployments re-legalize
+the *same* design hundreds of times after small engineering-change-order
+deltas.  This package serves that workload:
+
+* :mod:`repro.incremental.deltas` — the delta model (move / resize /
+  insert / delete / set_fixed) and its JSON stream format;
+* :mod:`repro.incremental.engine` — :class:`IncrementalLegalizer`, which
+  applies delta batches through the layout's incremental mutation hooks,
+  computes the minimal dirty set via the persistent per-row occupancy
+  index, and re-legalizes only the dirty targets (full-relegalize
+  fallback above a churn threshold);
+* :func:`reference_relegalize` — the from-scratch oracle the engine is
+  held bit-for-bit equal to.
+
+Seeded delta-stream generation at configurable churn rates lives in
+:mod:`repro.benchgen.eco`; the churn-sweep experiment in
+:mod:`repro.experiments.eco_churn`; the CLI in ``repro eco``.
+"""
+
+from repro.incremental.deltas import (
+    Delta,
+    DeltaBatch,
+    DeleteCell,
+    InsertCell,
+    MoveCell,
+    ResizeCell,
+    SetFixed,
+    delta_from_dict,
+    load_delta_stream,
+    save_delta_stream,
+    stream_from_dict,
+    stream_to_dict,
+)
+from repro.incremental.engine import (
+    DEFAULT_FULL_THRESHOLD,
+    AppliedDeltas,
+    IncrementalLegalizer,
+    IncrementalResult,
+    apply_deltas,
+    reference_relegalize,
+    validate_deltas,
+)
+
+__all__ = [
+    "Delta",
+    "DeltaBatch",
+    "MoveCell",
+    "ResizeCell",
+    "InsertCell",
+    "DeleteCell",
+    "SetFixed",
+    "delta_from_dict",
+    "stream_to_dict",
+    "stream_from_dict",
+    "save_delta_stream",
+    "load_delta_stream",
+    "AppliedDeltas",
+    "apply_deltas",
+    "validate_deltas",
+    "IncrementalLegalizer",
+    "IncrementalResult",
+    "reference_relegalize",
+    "DEFAULT_FULL_THRESHOLD",
+]

@@ -1,0 +1,175 @@
+"""ECO delta model: the edits an incremental legalization call accepts.
+
+An engineering change order (ECO) arrives as a *delta stream*: an ordered
+list of small edits against an already-legal layout.  Each delta names a
+cell by its stable index (inserts allocate the next index), so a stream
+can be generated once, serialized to JSON, and replayed against any copy
+of the base layout with identical results.
+
+Five delta kinds cover the ECO traffic the incremental engine serves:
+
+``move``
+    Retarget a cell's desired (global-placement) position.  For movable
+    cells this floats the cell again; for fixed macros it moves the
+    blockage itself.  Fixed-cell positions are snapped to the site/row
+    grid (the per-row obstacle index is row-aligned, so off-grid
+    blockages would overhang rows the legalizer cannot see); movable
+    desired positions may be fractional, exactly like global placement.
+``resize``
+    Change a cell's width and/or height.
+``insert``
+    Add a new cell (movable or fixed) at a desired position.
+``delete``
+    Remove a cell from the design.  Cell indexes must stay stable, so
+    deletion tombstones the entry (see
+    :meth:`repro.geometry.layout.Layout.retire_cell`).
+``set_fixed``
+    Freeze a movable cell at its current position, or free a fixed cell
+    so the legalizer may place it.
+
+The JSON spelling is one flat object per delta (``{"op": "move",
+"index": 12, "gp_x": 31.0, "gp_y": 4.2}``); a *stream* is a list of
+*batches* (lists of deltas), one batch per incremental call.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Base class of all ECO deltas."""
+
+    op = "delta"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form of the delta (``op`` plus its fields)."""
+        out: Dict[str, Any] = {"op": self.op}
+        for key, value in self.__dict__.items():
+            if value is not None:
+                out[key] = value
+        return out
+
+
+@dataclass(frozen=True)
+class MoveCell(Delta):
+    """Retarget a cell's desired position (movable) or move a macro (fixed)."""
+
+    index: int
+    gp_x: float
+    gp_y: float
+
+    op = "move"
+
+
+@dataclass(frozen=True)
+class ResizeCell(Delta):
+    """Change a cell's dimensions; omitted fields keep their value."""
+
+    index: int
+    width: Optional[float] = None
+    height: Optional[int] = None
+
+    op = "resize"
+
+
+@dataclass(frozen=True)
+class InsertCell(Delta):
+    """Add a new cell; it receives the next free cell index."""
+
+    width: float
+    height: int
+    gp_x: float
+    gp_y: float
+    fixed: bool = False
+    name: Optional[str] = None
+
+    op = "insert"
+
+
+@dataclass(frozen=True)
+class DeleteCell(Delta):
+    """Remove a cell from the design (tombstoned; indexes stay stable)."""
+
+    index: int
+
+    op = "delete"
+
+
+@dataclass(frozen=True)
+class SetFixed(Delta):
+    """Freeze a cell at its current position, or free a fixed cell."""
+
+    index: int
+    fixed: bool
+
+    op = "set_fixed"
+
+
+_DELTA_TYPES: Dict[str, type] = {
+    cls.op: cls for cls in (MoveCell, ResizeCell, InsertCell, DeleteCell, SetFixed)
+}
+
+#: One incremental call's worth of edits.
+DeltaBatch = List[Delta]
+
+
+def delta_from_dict(data: Dict[str, Any]) -> Delta:
+    """Rebuild one delta from its JSON object form."""
+    try:
+        op = data["op"]
+    except (KeyError, TypeError):
+        raise ValueError(f"delta object missing 'op' field: {data!r}") from None
+    cls = _DELTA_TYPES.get(op)
+    if cls is None:
+        raise ValueError(
+            f"unknown delta op {op!r}; expected one of {sorted(_DELTA_TYPES)}"
+        )
+    fields = {k: v for k, v in data.items() if k != "op"}
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise ValueError(f"malformed {op!r} delta {data!r}: {exc}") from None
+
+
+def stream_to_dict(batches: Sequence[DeltaBatch]) -> Dict[str, Any]:
+    """Convert a delta stream (list of batches) to a JSON-serialisable dict."""
+    return {
+        "format": "repro-eco-deltas",
+        "version": 1,
+        "batches": [[delta.to_dict() for delta in batch] for batch in batches],
+    }
+
+
+def stream_from_dict(data: Dict[str, Any]) -> List[DeltaBatch]:
+    """Rebuild a delta stream from :func:`stream_to_dict` output.
+
+    Also accepts a bare list of batches (or a single flat batch of delta
+    objects, which becomes a one-batch stream) so hand-written files stay
+    convenient.
+    """
+    if isinstance(data, dict):
+        batches = data.get("batches")
+        if batches is None:
+            raise ValueError("delta-stream object has no 'batches' field")
+    else:
+        batches = data
+    if batches and isinstance(batches[0], dict):
+        batches = [batches]  # a single flat batch
+    return [[delta_from_dict(entry) for entry in batch] for batch in batches]
+
+
+def save_delta_stream(batches: Sequence[DeltaBatch], path: Union[str, Path]) -> None:
+    """Write a delta stream to a JSON file."""
+    Path(path).write_text(
+        json.dumps(stream_to_dict(batches), indent=1), encoding="utf-8"
+    )
+
+
+def load_delta_stream(path: Union[str, Path]) -> List[DeltaBatch]:
+    """Read a delta stream from a JSON file."""
+    return stream_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,515 @@
+"""The incremental (ECO) legalization engine.
+
+A production legalizer rarely sees a design once: after the first full
+legalization, engineering change orders (ECOs) keep arriving as small
+deltas — cells move, resize, appear and disappear, macros shift — and
+each time the layout must be legal again.  Re-running the full legalizer
+rebuilds the world from scratch for every batch; this module instead
+tracks *dirty state across calls*:
+
+1. :func:`apply_deltas` edits the layout in place through the
+   :class:`~repro.geometry.layout.Layout` incremental mutation hooks, so
+   the persistent per-row occupancy index and the free-space summary are
+   updated (and invalidated) only for the rows a delta actually touches.
+2. While applying, it computes the **minimal dirty set**: cells a delta
+   targets directly, plus legalized cells whose rectangles overlap a
+   new/changed footprint — found by a spatial sweep over the occupancy
+   index, never by a full-layout scan.
+3. :class:`IncrementalLegalizer` then re-legalizes *only* the dirty set
+   through :meth:`repro.mgl.legalizer.MGLLegalizer.legalize_subset`,
+   reusing the existing processing ordering, occupancy-aware window
+   planner and whatever kernel backend is registered (including
+   ``multiprocess``) completely unchanged.  When dirtiness exceeds a
+   configurable threshold it falls back to a full re-legalization, where
+   a from-scratch run is cheaper than chasing a huge dirty set.
+
+Exactness contract
+------------------
+For every delta batch the incremental result is **bit-for-bit
+identical** to running the full legalizer on the post-delta layout (the
+full run's pending set *is* the dirty set, and ordering, window planning
+and kernels all restrict naturally).  :func:`reference_relegalize`
+implements that oracle — it replays the same deltas onto a copy, rebuilds
+every index from scratch and runs the plain full legalizer — and the
+property suite in ``tests/test_incremental.py`` holds the engine to it
+on every backend.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.geometry.cell import Cell
+from repro.geometry.layout import Layout
+from repro.incremental.deltas import (
+    Delta,
+    DeltaBatch,
+    DeleteCell,
+    InsertCell,
+    MoveCell,
+    ResizeCell,
+    SetFixed,
+)
+from repro.kernels import BackendSpec
+from repro.mgl.legalizer import LegalizationResult, MGLLegalizer
+from repro.perf.counters import IncrementalStats
+
+#: Default dirty fraction above which a full re-legalization is cheaper
+#: than an incremental pass (the dirty set is most of the design anyway,
+#: and the full run amortises its world rebuild over every cell).
+DEFAULT_FULL_THRESHOLD = 0.5
+
+
+# ----------------------------------------------------------------------
+# Delta application + dirty-set tracking
+# ----------------------------------------------------------------------
+@dataclass
+class AppliedDeltas:
+    """Outcome of applying one delta batch to a layout."""
+
+    dirty: List[int] = field(default_factory=list)
+    """Sorted indices of the movable cells that must be re-legalized."""
+
+    dirty_direct: int = 0
+    dirty_overlap: int = 0
+    deltas_applied: int = 0
+    rows_touched: int = 0
+
+
+def _live_cell(layout: Layout, index: int) -> Cell:
+    """The cell a delta addresses; rejects bad indices and tombstones."""
+    if not 0 <= index < len(layout.cells):
+        raise ValueError(f"delta targets unknown cell index {index}")
+    cell = layout.cells[index]
+    if layout.is_retired(cell):
+        raise ValueError(f"delta targets deleted cell {cell.name} (index {index})")
+    return cell
+
+
+def _clip_position(layout: Layout, x: float, y: float, width: float, height: int):
+    """Clamp a desired position so the cell's rectangle stays on-chip."""
+    x = min(max(0.0, float(x)), max(0.0, layout.width - width))
+    y = min(max(0.0, float(y)), max(0.0, float(layout.num_rows - height)))
+    return x, y
+
+
+def _snap_fixed_position(layout: Layout, x: float, y: float, width: float, height: int):
+    """Snap a fixed cell's position to the site/row grid, then clip.
+
+    The per-row obstacle index registers a cell in the rows of its
+    *rounded* bottom coordinate, so an off-grid blockage would physically
+    overhang rows the legalizer cannot see.  Every design source places
+    blockages on-grid; ECO macro deltas must land there too.
+    """
+    return _clip_position(layout, round(x), round(y), width, height)
+
+
+class _DirtyTracker:
+    """Accumulates the dirty set and the touched-row accounting."""
+
+    def __init__(self, layout: Layout) -> None:
+        self.layout = layout
+        self.cause: Dict[int, str] = {}  # cell index -> "direct" | "overlap"
+        self.rows: Set[int] = set()
+
+    def touch_rows(self, cell: Cell) -> None:
+        bottom, top = cell.row_span
+        self.rows.update(range(max(0, bottom), min(self.layout.num_rows, top)))
+
+    def mark_direct(self, cell: Cell) -> None:
+        self.cause.setdefault(cell.index, "direct")
+
+    def drop(self, cell: Cell) -> None:
+        self.cause.pop(cell.index, None)
+
+    def sweep_overlaps(self, x_lo: float, x_hi: float, y_lo: float, y_hi: float,
+                       exclude: int) -> None:
+        """Dirty every legalized cell overlapping the given rectangle.
+
+        Walks only the occupancy-index rows the rectangle intersects —
+        this is the spatial dirty query, O(rows x obstacles-in-span),
+        never a full-layout scan.  Overlapped cells are unlegalized
+        immediately (removing them from the index) so later deltas and
+        the re-legalization see a consistent world.
+        """
+        layout = self.layout
+        row_lo = max(0, int(math.floor(y_lo)))
+        row_hi = min(layout.num_rows, int(math.ceil(y_hi)))
+        hits: Dict[int, Cell] = {}
+        for row in range(row_lo, row_hi):
+            for cell in layout.obstacles_in_row_window(row, x_lo, x_hi):
+                if cell.fixed or cell.index == exclude or cell.index in hits:
+                    continue
+                if (cell.x < x_hi and cell.right > x_lo
+                        and cell.y < y_hi and cell.top > y_lo):
+                    hits[cell.index] = cell
+        for cell in hits.values():
+            self.touch_rows(cell)
+            layout.unlegalize_cell(cell)
+            self.cause.setdefault(cell.index, "overlap")
+
+    def result(self, deltas_applied: int) -> AppliedDeltas:
+        direct = sum(1 for v in self.cause.values() if v == "direct")
+        return AppliedDeltas(
+            dirty=sorted(self.cause),
+            dirty_direct=direct,
+            dirty_overlap=len(self.cause) - direct,
+            deltas_applied=deltas_applied,
+            rows_touched=len(self.rows),
+        )
+
+
+def validate_deltas(layout: Layout, deltas: Sequence[Delta]) -> None:
+    """Reject an invalid batch *before* any mutation happens.
+
+    Simulates just enough state (cell count, tombstones, fixed flags,
+    widths) to catch every error :func:`apply_deltas` could otherwise
+    raise mid-batch — bad indices, deltas against deleted cells, invalid
+    resize dimensions, freeing a zero-width marker, unknown delta types.
+    A batch that passes validation applies atomically; one that fails
+    leaves the layout (and the engine's persistent state) untouched.
+    """
+    n = len(layout.cells)
+    retired = {c.index for c in layout.cells if layout.is_retired(c)}
+    fixed: Dict[int, bool] = {}
+    widths: Dict[int, float] = {}
+
+    def live(index: int, op: str) -> None:
+        if not 0 <= index < n:
+            raise ValueError(f"{op} delta targets unknown cell index {index}")
+        if index in retired:
+            raise ValueError(f"{op} delta targets deleted cell index {index}")
+
+    def is_fixed(index: int) -> bool:
+        return fixed.get(index, layout.cells[index].fixed if index < len(layout.cells) else False)
+
+    def width_of(index: int) -> float:
+        return widths.get(index, layout.cells[index].width if index < len(layout.cells) else 1.0)
+
+    for delta in deltas:
+        if isinstance(delta, MoveCell):
+            live(delta.index, "move")
+        elif isinstance(delta, ResizeCell):
+            live(delta.index, "resize")
+            width = width_of(delta.index) if delta.width is None else float(delta.width)
+            height = delta.height
+            if width < 0 or (width == 0 and not is_fixed(delta.index)):
+                raise ValueError(f"resize delta: width must be positive, got {width}")
+            if height is not None and int(height) < 1:
+                raise ValueError(f"resize delta: height must be >= 1, got {height}")
+            widths[delta.index] = width
+        elif isinstance(delta, InsertCell):
+            if delta.width < 0 or (delta.width == 0 and not delta.fixed):
+                raise ValueError(f"insert delta: width must be positive, got {delta.width}")
+            if int(delta.height) < 1:
+                raise ValueError(f"insert delta: height must be >= 1, got {delta.height}")
+            fixed[n] = delta.fixed
+            widths[n] = float(delta.width)
+            if delta.fixed and delta.width == 0.0:
+                # A zero-width fixed marker is indistinguishable from a
+                # tombstone; later deltas must not address it.
+                retired.add(n)
+            n += 1
+        elif isinstance(delta, DeleteCell):
+            live(delta.index, "delete")
+            retired.add(delta.index)
+        elif isinstance(delta, SetFixed):
+            live(delta.index, "set_fixed")
+            if not delta.fixed and width_of(delta.index) == 0.0:
+                raise ValueError(
+                    f"set_fixed delta: cell index {delta.index} has zero width "
+                    "and cannot become movable"
+                )
+            fixed[delta.index] = delta.fixed
+        else:
+            raise TypeError(f"unknown delta type {type(delta).__name__}")
+
+
+def apply_deltas(layout: Layout, deltas: Sequence[Delta]) -> AppliedDeltas:
+    """Apply one ECO delta batch to ``layout`` in place.
+
+    The batch is validated up front (:func:`validate_deltas`) so it
+    applies atomically: an invalid batch raises without touching the
+    layout.  Maintains the per-row occupancy index incrementally (no
+    rebuild) and returns the minimal dirty set: exactly the movable
+    cells that are unlegalized afterwards and must be re-placed.
+    Deterministic — the same batch applied to equal layouts yields
+    identical layouts and identical dirty sets, which is what makes the
+    incremental and the from-scratch reference paths comparable bit for
+    bit.
+    """
+    validate_deltas(layout, deltas)
+    tracker = _DirtyTracker(layout)
+    for delta in deltas:
+        if isinstance(delta, MoveCell):
+            cell = _live_cell(layout, delta.index)
+            if cell.fixed:
+                x, y = _snap_fixed_position(
+                    layout, delta.gp_x, delta.gp_y, cell.width, cell.height
+                )
+                tracker.touch_rows(cell)
+                layout.relocate_fixed(cell, x, y)
+                cell.gp_x, cell.gp_y = x, y
+                tracker.touch_rows(cell)
+                tracker.sweep_overlaps(cell.x, cell.right, cell.y, cell.top, cell.index)
+            else:
+                x, y = _clip_position(
+                    layout, delta.gp_x, delta.gp_y, cell.width, cell.height
+                )
+                if cell.legalized:
+                    tracker.touch_rows(cell)
+                layout.unlegalize_cell(cell)
+                cell.gp_x, cell.gp_y = x, y
+                cell.x, cell.y = x, y
+                tracker.mark_direct(cell)
+        elif isinstance(delta, ResizeCell):
+            cell = _live_cell(layout, delta.index)
+            tracker.touch_rows(cell)
+            if cell.fixed:
+                layout.resize_cell(cell, delta.width, delta.height)
+                x, y = _snap_fixed_position(layout, cell.x, cell.y, cell.width, cell.height)
+                if (x, y) != (cell.x, cell.y):
+                    layout.relocate_fixed(cell, x, y)
+                    cell.gp_x, cell.gp_y = x, y
+                tracker.touch_rows(cell)
+                tracker.sweep_overlaps(cell.x, cell.right, cell.y, cell.top, cell.index)
+            else:
+                layout.unlegalize_cell(cell)
+                layout.resize_cell(cell, delta.width, delta.height)
+                cell.gp_x, cell.gp_y = _clip_position(
+                    layout, cell.gp_x, cell.gp_y, cell.width, cell.height
+                )
+                cell.x, cell.y = cell.gp_x, cell.gp_y
+                tracker.mark_direct(cell)
+        elif isinstance(delta, InsertCell):
+            index = len(layout.cells)
+            snap = _snap_fixed_position if delta.fixed else _clip_position
+            x, y = snap(layout, delta.gp_x, delta.gp_y, delta.width, delta.height)
+            cell = Cell(
+                index=index,
+                width=delta.width,
+                height=delta.height,
+                gp_x=x,
+                gp_y=y,
+                x=x,
+                y=y,
+                fixed=delta.fixed,
+                name=delta.name or f"eco{index}",
+            )
+            layout.add_cell(cell)
+            if cell.fixed:
+                tracker.touch_rows(cell)
+                tracker.sweep_overlaps(cell.x, cell.right, cell.y, cell.top, cell.index)
+            else:
+                tracker.mark_direct(cell)
+        elif isinstance(delta, DeleteCell):
+            cell = _live_cell(layout, delta.index)
+            tracker.touch_rows(cell)
+            layout.retire_cell(cell)
+            tracker.drop(cell)
+        elif isinstance(delta, SetFixed):
+            cell = _live_cell(layout, delta.index)
+            if delta.fixed and not cell.fixed:
+                was_floating = not cell.legalized
+                if was_floating:
+                    # Not in the index yet, so the position can be edited
+                    # directly: freeze on the placement grid.
+                    cell.x, cell.y = _snap_fixed_position(
+                        layout, cell.x, cell.y, cell.width, cell.height
+                    )
+                tracker.touch_rows(cell)
+                layout.set_cell_fixed(cell, True)
+                tracker.drop(cell)
+                if was_floating:
+                    # Frozen at an unlegalized position: the new blockage
+                    # may overlap committed placements.
+                    tracker.sweep_overlaps(
+                        cell.x, cell.right, cell.y, cell.top, cell.index
+                    )
+            elif not delta.fixed and cell.fixed:
+                tracker.touch_rows(cell)
+                layout.set_cell_fixed(cell, False)
+                tracker.mark_direct(cell)
+        else:
+            raise TypeError(f"unknown delta type {type(delta).__name__}")
+    return tracker.result(len(deltas))
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass
+class IncrementalResult:
+    """Outcome of one incremental call: the run plus its reuse counters."""
+
+    legalization: LegalizationResult
+    stats: IncrementalStats
+
+    @property
+    def layout(self) -> Layout:
+        return self.legalization.layout
+
+    @property
+    def trace(self):
+        return self.legalization.trace
+
+    @property
+    def success(self) -> bool:
+        return self.legalization.success
+
+    @property
+    def average_displacement(self) -> float:
+        return self.legalization.average_displacement
+
+
+class IncrementalLegalizer:
+    """Keeps one layout legal across a stream of ECO delta batches.
+
+    Parameters
+    ----------
+    legalizer:
+        The wrapped :class:`~repro.mgl.legalizer.MGLLegalizer` (or a
+        compatible object exposing ``legalize`` / ``legalize_subset``).
+        Defaults to an ``MGLLegalizer`` with default parameters.
+    backend:
+        Convenience kernel-backend override applied to the legalizer
+        (any :mod:`repro.kernels` spec, e.g. ``"numpy"`` or
+        ``"multiprocess:4"``).
+    full_threshold:
+        Dirty fraction (dirty cells / movable cells) above which the
+        engine resets every movable cell and runs a full legalization
+        instead of an incremental pass.
+
+    Usage::
+
+        engine = IncrementalLegalizer(backend="numpy")
+        engine.begin(layout)               # full legalization if needed
+        result = engine.apply(deltas)      # one ECO batch
+        print(incremental_summary(result.stats))
+    """
+
+    def __init__(
+        self,
+        legalizer: Optional[MGLLegalizer] = None,
+        *,
+        backend: BackendSpec = None,
+        full_threshold: float = DEFAULT_FULL_THRESHOLD,
+    ) -> None:
+        if legalizer is None:
+            legalizer = MGLLegalizer(backend=backend)
+        elif backend is not None:
+            legalizer = legalizer.with_backend(backend)
+        if not 0.0 <= full_threshold <= 1.0:
+            raise ValueError(f"full_threshold must be in [0, 1], got {full_threshold}")
+        self.legalizer = legalizer
+        self.full_threshold = full_threshold
+        self.layout: Optional[Layout] = None
+        #: Per-call reuse counters, most recent last.
+        self.history: List[IncrementalStats] = []
+
+    # ------------------------------------------------------------------
+    def begin(self, layout: Layout) -> Optional[LegalizationResult]:
+        """Adopt ``layout`` as the persistent design.
+
+        If the layout still has unlegalized movable cells they are
+        legalized now (one full run); an already-legal layout is adopted
+        as-is after one index build — the last full rebuild the engine
+        ever pays.
+        """
+        self.layout = layout
+        self.history = []
+        if layout.unlegalized_cells():
+            return self.legalizer.legalize(layout)
+        layout.rebuild_index()
+        return None
+
+    # ------------------------------------------------------------------
+    def apply(self, deltas: Sequence[Delta]) -> IncrementalResult:
+        """Apply one ECO delta batch and restore legality.
+
+        Returns the re-legalization result together with the dirty-set /
+        reuse counters.  The placements of all non-dirty cells are
+        reused unchanged.
+        """
+        if self.layout is None:
+            raise RuntimeError("IncrementalLegalizer.apply called before begin()")
+        layout = self.layout
+        start = time.perf_counter()
+        # An invalid batch raises here, before any mutation: the layout
+        # is untouched and the engine stays usable.
+        validate_deltas(layout, deltas)
+        try:
+            applied = apply_deltas(layout, deltas)
+        except Exception:
+            # Validation passed yet application failed: internal error.
+            # The layout may be half-mutated, so force a fresh begin()
+            # (which fully re-adopts and, if needed, re-legalizes).
+            self.layout = None
+            raise
+        num_movable = len(layout.movable_cells())
+        dirty_cells = [layout.cells[i] for i in applied.dirty]
+        dirty_fraction = len(dirty_cells) / max(1, num_movable)
+
+        if dirty_fraction > self.full_threshold:
+            mode = "full"
+            layout.reset_positions()
+            result = self.legalizer.legalize(layout)
+        else:
+            mode = "incremental"
+            result = self.legalizer.legalize_subset(layout, dirty_cells)
+
+        stats = IncrementalStats(
+            deltas_applied=applied.deltas_applied,
+            dirty_direct=applied.dirty_direct,
+            dirty_overlap=applied.dirty_overlap,
+            dirty_total=len(dirty_cells),
+            num_movable=num_movable,
+            reused_cells=num_movable - len(dirty_cells) if mode == "incremental" else 0,
+            rows_touched=applied.rows_touched,
+            mode=mode,
+            full_threshold=self.full_threshold,
+            wall_seconds=time.perf_counter() - start,
+        )
+        self.history.append(stats)
+        return IncrementalResult(legalization=result, stats=stats)
+
+    # ------------------------------------------------------------------
+    def replay(self, batches: Sequence[DeltaBatch]) -> List[IncrementalResult]:
+        """Apply a whole delta stream, one :meth:`apply` per batch."""
+        return [self.apply(batch) for batch in batches]
+
+
+# ----------------------------------------------------------------------
+# The exactness oracle
+# ----------------------------------------------------------------------
+def reference_relegalize(
+    base_layout: Layout,
+    batches: Sequence[DeltaBatch],
+    *,
+    legalizer: Optional[MGLLegalizer] = None,
+    backend: BackendSpec = None,
+) -> Layout:
+    """From-scratch oracle for the incremental engine.
+
+    Replays ``batches`` onto a copy of ``base_layout``; after each batch
+    every index and summary is rebuilt from scratch and the plain *full*
+    legalizer runs on the post-delta layout — whose pending set is
+    exactly the dirty set, so this is "the full legalizer with the same
+    ordering restricted to the dirty set".  The returned layout must
+    match the engine's persistent layout bit for bit.
+    """
+    if legalizer is None:
+        legalizer = MGLLegalizer(backend=backend)
+    elif backend is not None:
+        legalizer = legalizer.with_backend(backend)
+    layout = base_layout.copy()
+    if layout.unlegalized_cells():
+        legalizer.legalize(layout)
+    for batch in batches:
+        apply_deltas(layout, batch)
+        layout.rebuild_index()
+        legalizer.legalize(layout)
+    return layout

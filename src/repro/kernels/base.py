@@ -56,7 +56,12 @@ class KernelBackend(ABC):
     #: OS processes (see :mod:`repro.kernels.mp_backend`).  Such backends
     #: additionally implement ``legalize_sharded(legalizer, layout,
     #: ordered, trace)`` and :class:`~repro.mgl.legalizer.MGLLegalizer`
-    #: hands them the run after pre-move and ordering.
+    #: hands them the run after pre-move and ordering.  ``ordered`` is an
+    #: *explicit target subset*: it may cover every pending cell (a full
+    #: run) or only a dirty subset (an incremental re-legalization via
+    #: ``MGLLegalizer.legalize_subset``); implementations must restrict
+    #: themselves to exactly those targets and never pull in other
+    #: unlegalized cells of the layout.
     supports_layout_parallel: bool = False
 
     #: True for backends that parallelise the FOP candidate loop *within*

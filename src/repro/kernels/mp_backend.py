@@ -538,8 +538,10 @@ class MultiprocessKernelBackend(KernelBackend):
     def legalize_sharded(self, legalizer, layout, ordered, trace) -> List[int]:
         """Legalize ``ordered`` targets of ``layout``, sharded over workers.
 
-        Called by :meth:`repro.mgl.legalizer.MGLLegalizer.legalize` after
-        pre-move and ordering; fills ``trace`` exactly like the
+        Called by :meth:`repro.mgl.legalizer.MGLLegalizer.legalize` (and
+        by ``legalize_subset`` for incremental/ECO runs — ``ordered`` is
+        always an explicit target subset and is never widened here)
+        after pre-move and ordering; fills ``trace`` exactly like the
         sequential path and returns the failed cell indices.
         """
         stats: Dict[str, Any] = {

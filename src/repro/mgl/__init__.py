@@ -36,7 +36,7 @@ from repro.mgl.window_planner import plan_initial_window, window_is_promising
 from repro.mgl.premove import premove
 from repro.mgl.fop import FOPConfig, FOPResult, find_optimal_position
 from repro.mgl.update import commit_placement
-from repro.mgl.legalizer import LegalizationResult, MGLLegalizer
+from repro.mgl.legalizer import LegalizationResult, MGLLegalizer, fast_mgl_legalizer
 
 __all__ = [
     "BreakpointPiece",
@@ -59,5 +59,6 @@ __all__ = [
     "find_optimal_position",
     "commit_placement",
     "MGLLegalizer",
+    "fast_mgl_legalizer",
     "LegalizationResult",
 ]

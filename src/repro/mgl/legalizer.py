@@ -34,7 +34,7 @@ from repro.kernels import BackendSpec, resolve_backend
 from repro.legality.metrics import DisplacementStats, PlacementMetrics
 from repro.mgl.fop import FOPConfig, find_optimal_position
 from repro.mgl.local_region import RegionBuilder, region_transfer_words
-from repro.mgl.premove import premove
+from repro.mgl.premove import premove, premove_cell
 from repro.mgl.window_planner import (
     DEFAULT_GROWTH,
     DEFAULT_MAX_GROWTHS,
@@ -56,6 +56,25 @@ def size_descending_order(layout: Layout, cells: List[Cell]) -> List[Cell]:
     ties are broken by the cell index for determinism.
     """
     return sorted(cells, key=lambda c: (-c.area, -c.height, -c.width, c.index))
+
+
+def fast_mgl_legalizer(backend: BackendSpec = None, **kwargs) -> "MGLLegalizer":
+    """An :class:`MGLLegalizer` in the fast host configuration.
+
+    SACS shifting plus the fwdtraverse/bwdtraverse curve pipeline — the
+    configuration the CLI, the incremental/ECO tooling and the host
+    benchmarks all run.  Keeping the construction in one place means a
+    future FOP knob change cannot leave those surfaces on silently
+    different configurations.  ``kwargs`` pass through to the
+    constructor.
+    """
+    from repro.core.sacs import SortAheadShifter  # deferred: core imports mgl
+
+    return MGLLegalizer(
+        FOPConfig(shifter=SortAheadShifter(), use_fwd_bwd_pipeline=True),
+        backend=backend,
+        **kwargs,
+    )
 
 
 @dataclass
@@ -198,8 +217,50 @@ class MGLLegalizer:
     def legalize(self, layout: Layout) -> LegalizationResult:
         """Legalize every movable cell of the layout in place."""
         start = time.perf_counter()
+        trace = self._new_trace(layout)
+        trace.premove_cells = premove(layout)
+        layout.rebuild_index()
+        pending = layout.unlegalized_cells()
+        return self._legalize_pending(layout, pending, trace, start)
+
+    def legalize_subset(
+        self, layout: Layout, targets: Sequence[Cell]
+    ) -> LegalizationResult:
+        """Re-entrant legalization of an explicit target subset.
+
+        The incremental (ECO) engine's entry point: ``targets`` are the
+        dirty cells of an otherwise legal layout.  Every target must be
+        a movable, currently-unlegalized cell of ``layout``; everything
+        else is treated as an obstacle exactly as in :meth:`legalize`.
+        Only the targets are pre-moved, and — unlike :meth:`legalize` —
+        the layout's obstacle index is trusted as-is (no whole-index
+        rebuild), so callers maintaining the index incrementally pay
+        only for the cells they touched.
+
+        The result is bit-for-bit identical to running :meth:`legalize`
+        on the same layout state: a full run's pending set would be the
+        same cells, and the processing ordering, window planning and
+        kernel backends all restrict naturally to the subset.
+        """
+        start = time.perf_counter()
+        for target in targets:
+            if target.fixed or target.legalized:
+                raise ValueError(
+                    f"cell {target.name} is not a pending target "
+                    "(fixed or already legalized)"
+                )
+            if layout.cells[target.index] is not target:
+                raise ValueError(f"cell {target.name} does not belong to this layout")
+        trace = self._new_trace(layout)
+        for target in targets:
+            premove_cell(layout, target)
+        trace.premove_cells = len(targets)
+        return self._legalize_pending(layout, list(targets), trace, start)
+
+    # ------------------------------------------------------------------
+    def _new_trace(self, layout: Layout) -> LegalizationTrace:
         backend = resolve_backend(self.fop_config.backend)
-        trace = LegalizationTrace(
+        return LegalizationTrace(
             design_name=layout.name,
             algorithm=self.algorithm_name,
             shift_algorithm=getattr(self.fop_config.shifter, "name", "original"),
@@ -207,10 +268,16 @@ class MGLLegalizer:
             num_cells=len(layout.cells),
             num_movable=len(layout.movable_cells()),
         )
-        trace.premove_cells = premove(layout)
-        layout.rebuild_index()
 
-        pending = layout.unlegalized_cells()
+    def _legalize_pending(
+        self,
+        layout: Layout,
+        pending: List[Cell],
+        trace: LegalizationTrace,
+        start: float,
+    ) -> LegalizationResult:
+        """Order and legalize a pending target set (shared run tail)."""
+        backend = resolve_backend(self.fop_config.backend)
         ordered = self.ordering(layout, pending)
         n = max(1, len(ordered))
         trace.ordering_ops = int(

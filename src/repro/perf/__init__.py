@@ -23,6 +23,7 @@ can be overridden for sensitivity studies.
 
 from repro.perf.counters import (
     FOP_STAGES,
+    IncrementalStats,
     InsertionPointWork,
     LegalizationTrace,
     TargetCellWork,
@@ -35,6 +36,7 @@ from repro.perf.report import SpeedupReport, format_table
 
 __all__ = [
     "FOP_STAGES",
+    "IncrementalStats",
     "InsertionPointWork",
     "TargetCellWork",
     "LegalizationTrace",

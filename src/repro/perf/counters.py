@@ -150,6 +150,75 @@ class TargetCellWork:
 
 
 @dataclass
+class IncrementalStats:
+    """Dirty-set and reuse counters of one incremental (ECO) call.
+
+    Recorded by :class:`repro.incremental.IncrementalLegalizer` next to
+    the :class:`LegalizationTrace` of the re-legalization it ran.  The
+    point of the incremental engine is *work avoided*, which the trace
+    alone cannot show — these counters do.
+    """
+
+    deltas_applied: int = 0
+    """Number of deltas in the applied batch."""
+
+    dirty_direct: int = 0
+    """Cells dirtied because a delta targeted them directly."""
+
+    dirty_overlap: int = 0
+    """Legalized cells dirtied because a new/changed footprint (a fixed
+    macro move/resize/insert, or a frozen cell) overlaps them — found by
+    the spatial sweep over the persistent per-row occupancy index."""
+
+    dirty_total: int = 0
+    """Size of the dirty set actually re-legalized."""
+
+    num_movable: int = 0
+    """Movable (non-tombstoned) cells in the post-delta layout."""
+
+    reused_cells: int = 0
+    """Legalized cells left untouched (their placements were reused)."""
+
+    rows_touched: int = 0
+    """Distinct rows whose occupancy index / free-space summary entries
+    were invalidated while applying the batch."""
+
+    mode: str = "incremental"
+    """``"incremental"`` (dirty subset re-legalized) or ``"full"`` (the
+    dirtiness threshold was exceeded and the whole layout was reset and
+    re-legalized from scratch)."""
+
+    full_threshold: float = 1.0
+    """Dirty fraction above which the engine falls back to a full run."""
+
+    wall_seconds: float = 0.0
+    """End-to-end wall time of the incremental call (apply + legalize)."""
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Dirty cells as a fraction of the movable population."""
+        if self.num_movable <= 0:
+            return 0.0
+        return self.dirty_total / self.num_movable
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dictionary for JSON reports."""
+        return {
+            "deltas_applied": self.deltas_applied,
+            "dirty_direct": self.dirty_direct,
+            "dirty_overlap": self.dirty_overlap,
+            "dirty_total": self.dirty_total,
+            "num_movable": self.num_movable,
+            "dirty_fraction": self.dirty_fraction,
+            "reused_cells": self.reused_cells,
+            "rows_touched": self.rows_touched,
+            "mode": self.mode,
+            "full_threshold": self.full_threshold,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+@dataclass
 class LegalizationTrace:
     """Complete work record of one legalization run."""
 

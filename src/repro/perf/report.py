@@ -141,6 +141,30 @@ def feasibility_summary(trace) -> str:
     )
 
 
+def incremental_summary(stats) -> str:
+    """One-line summary of an incremental (ECO) legalization call.
+
+    Reports how much of the design the engine actually re-legalized: the
+    dirty-set size and its direct/overlap split, the reused placements,
+    the rows whose index entries were invalidated, and whether the call
+    fell back to a full re-legalization because dirtiness exceeded the
+    threshold.
+    """
+    line = (
+        f"mode={stats.mode} "
+        f"deltas={stats.deltas_applied} "
+        f"dirty={stats.dirty_total}/{stats.num_movable}"
+        f" ({stats.dirty_fraction * 100.0:.1f}%:"
+        f" {stats.dirty_direct} direct + {stats.dirty_overlap} overlap) "
+        f"reused={stats.reused_cells} "
+        f"rows_touched={stats.rows_touched} "
+        f"wall={stats.wall_seconds:.3f}s"
+    )
+    if stats.mode == "full":
+        line += f" (dirty fraction exceeded threshold {stats.full_threshold:.2f})"
+    return line
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean ignoring NaNs and non-positive entries."""
     import math
