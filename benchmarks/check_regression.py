@@ -68,6 +68,50 @@ def compare(current: dict, baseline: dict, threshold: float) -> int:
     return regressions
 
 
+def check_eco_soak(soak_json: Path, max_drift: float, min_speedup: float) -> int:
+    """Gate the ECO soak's quality drift and speedup; return failure count.
+
+    Reads the ``BENCH_eco_soak.json`` payload written by the soak
+    benchmark (or ``repro eco --soak --soak-json``) and fails when the
+    soaked layout's final AveDis exceeds the from-scratch re-legalization
+    of the same final design by more than ``max_drift`` (one-sided:
+    ending *better* than from-scratch is never a failure), or when the
+    estimated incremental speedup fell below ``min_speedup``.
+    """
+    payload = json.loads(soak_json.read_text(encoding="utf-8"))
+    final = payload["final"]
+    drift = float(final["drift_vs_full"])
+    speedup = float(final.get("speedup_estimate", float("inf")))
+    failures = 0
+    print(
+        f"eco soak: drift_vs_full {drift * 100:+.2f}% "
+        f"(budget {max_drift * 100:.1f}%), speedup {speedup:.1f}x "
+        f"(floor {min_speedup:.1f}x), repacks {final.get('repacks', 0)}"
+    )
+    if drift > max_drift:
+        print(
+            f"eco soak REGRESSION: final AveDis drifted {drift * 100:+.2f}% "
+            f"over a from-scratch repack (budget {max_drift * 100:.1f}%)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if speedup < min_speedup:
+        print(
+            f"eco soak REGRESSION: incremental speedup {speedup:.2f}x fell "
+            f"below the {min_speedup:.1f}x floor",
+            file=sys.stderr,
+        )
+        failures += 1
+    if final.get("failed_batches"):
+        print(
+            f"eco soak REGRESSION: {final['failed_batches']} batches failed "
+            "to legalize",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("benchmark_json", type=Path, help="pytest-benchmark JSON output")
@@ -83,7 +127,31 @@ def main(argv=None) -> int:
         "--update", action="store_true",
         help="rewrite the baseline from this run instead of comparing",
     )
+    parser.add_argument(
+        "--eco-soak", type=Path, default=None,
+        help="also gate an ECO soak trajectory (BENCH_eco_soak.json): fail "
+             "when final AveDis drift vs a from-scratch repack exceeds "
+             "--max-eco-drift or speedup falls below --min-eco-speedup",
+    )
+    parser.add_argument(
+        "--max-eco-drift", type=float, default=0.05,
+        help="tolerated final AveDis drift of the soak vs from-scratch "
+             "(default 0.05 = 5%%)",
+    )
+    parser.add_argument(
+        "--min-eco-speedup", type=float, default=3.0,
+        help="minimum estimated incremental speedup of the soak (default 3.0)",
+    )
     args = parser.parse_args(argv)
+
+    soak_failures = 0
+    if args.eco_soak is not None:
+        if not args.eco_soak.exists():
+            print(f"eco soak payload {args.eco_soak} missing", file=sys.stderr)
+            return 1
+        soak_failures = check_eco_soak(
+            args.eco_soak, args.max_eco_drift, args.min_eco_speedup
+        )
 
     current = load_means(args.benchmark_json)
     if not current:
@@ -95,13 +163,13 @@ def main(argv=None) -> int:
             json.dumps(current, indent=1, sort_keys=True) + "\n", encoding="utf-8"
         )
         print(f"wrote {len(current)} baseline entries to {args.baseline}")
-        return 0
+        return 1 if soak_failures else 0
 
     if not args.baseline.exists():
         print(f"baseline {args.baseline} missing; run with --update first", file=sys.stderr)
         return 1
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
-    regressions = compare(current, baseline, args.threshold)
+    regressions = compare(current, baseline, args.threshold) + soak_failures
     if regressions:
         print(f"{regressions} benchmark(s) regressed beyond the threshold", file=sys.stderr)
         return 1

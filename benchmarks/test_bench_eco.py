@@ -63,3 +63,59 @@ def test_bench_eco_churn_sweep(benchmark):
         assert low_churn and max(low_churn) >= MIN_LOW_CHURN_SPEEDUP, (
             f"expected >= {MIN_LOW_CHURN_SPEEDUP}x at <= 5% churn, got {speedups}"
         )
+
+
+# ----------------------------------------------------------------------
+# Long-stream soak: quality drift under the displacement-bounded mode
+# ----------------------------------------------------------------------
+#: Tolerated final AveDis drift of the soaked layout over a from-scratch
+#: full legalization of the same final design (one-sided; the CI gate in
+#: check_regression.py applies the same budget to the JSON artifact).
+MAX_SOAK_DRIFT = 0.05
+#: Movable-cell floor below which the drift/speedup assertions are noise
+#: (tiny designs have sparsely populated height classes, so S_am jumps
+#: when a single tall cell is deleted or inserted).
+MIN_CELLS_FOR_SOAK_ASSERT = 300
+
+
+def test_bench_eco_soak(benchmark):
+    from repro.experiments.eco_soak import run_eco_soak
+
+    # Dense synthetic design; scale the published des_perf_1 size like
+    # the churn sweep does, but keep a workable floor so the soak always
+    # exercises real multi-batch dynamics even at smoke scale.
+    num_cells = max(120, int(round(112644 * min(4 * BENCH_SCALE, 0.004))))
+    batches = 200 if num_cells >= MIN_CELLS_FOR_SOAK_ASSERT else 40
+    result = run_once(
+        benchmark,
+        run_eco_soak,
+        "eco_soak",
+        num_cells=num_cells,
+        density=0.6,
+        seed=BENCH_SEED,
+        batches=batches,
+        churn=0.02,
+        max_avedis_drift=MAX_SOAK_DRIFT,
+        repack_every=25,
+    )
+    print()
+    print(result.format())
+
+    payload = result.extras["payload"]
+    benchmark.extra_info["eco_soak"] = payload["final"]
+    with open("BENCH_eco_soak.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+    final = payload["final"]
+    assert final["failed_batches"] == 0
+    # Repack counter must be monotone along the trajectory.
+    repacks = [entry["repacks_total"] for entry in payload["trajectory"]]
+    assert repacks == sorted(repacks)
+    if num_cells >= MIN_CELLS_FOR_SOAK_ASSERT:
+        assert final["drift_vs_full"] <= MAX_SOAK_DRIFT, (
+            f"soak drift {final['drift_vs_full']:.3f} exceeds {MAX_SOAK_DRIFT}"
+        )
+        assert final["speedup_estimate"] >= MIN_LOW_CHURN_SPEEDUP, (
+            f"soak speedup {final['speedup_estimate']:.2f} below "
+            f"{MIN_LOW_CHURN_SPEEDUP}x"
+        )

@@ -29,6 +29,7 @@ The module is installed as the ``repro`` console script via
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -38,11 +39,51 @@ from repro.geometry.layout import Layout
 
 
 def _load_layout(path: Path) -> Layout:
+    """Load a design file, reporting corruption as one-line user errors.
+
+    A missing file surfaces as :class:`OSError`; corrupt JSON is
+    reported ``file:line:col: message`` (no traceback), and a JSON file
+    whose *shape* is wrong (missing keys, wrong types) is wrapped into a
+    :class:`ValueError` naming the file instead of leaking a bare
+    ``KeyError`` traceback to the terminal.
+    """
     from repro.designio import load_cells, load_layout_json
 
-    if path.suffix == ".cells":
-        return load_cells(path)
-    return load_layout_json(path)
+    try:
+        if path.suffix == ".cells":
+            return load_cells(path)
+        return load_layout_json(path)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path}:{exc.lineno}:{exc.colno}: invalid JSON: {exc.msg}"
+        ) from None
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"{path}: malformed design file: {exc}") from None
+    except ValueError as exc:
+        # Value-level errors (e.g. a negative cell width) already carry
+        # file:line context from the bookshelf parser; bare ones from
+        # the JSON path still need the file named.
+        if str(exc).startswith(str(path)):
+            raise
+        raise ValueError(f"{path}: {exc}") from None
+
+
+def _load_stream(path: Path):
+    """Load a delta stream with the same error reporting as designs."""
+    from repro.incremental import load_delta_stream
+
+    try:
+        return load_delta_stream(path)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path}:{exc.lineno}:{exc.colno}: invalid JSON: {exc.msg}"
+        ) from None
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"{path}: malformed delta stream: {exc}") from None
+    except ValueError as exc:
+        if str(exc).startswith(str(path)):
+            raise
+        raise ValueError(f"{path}: {exc}") from None
 
 
 def _save_layout(layout: Layout, path: Path) -> None:
@@ -116,12 +157,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return status
 
 
-def cmd_eco(args: argparse.Namespace) -> int:
-    from repro.incremental import (
-        IncrementalLegalizer,
-        load_delta_stream,
-        save_delta_stream,
+def _drift_knobs(args: argparse.Namespace) -> dict:
+    """Displacement-budget knobs shared by the replay and soak modes.
+
+    Negative values disable a knob (argparse has no None spelling), so
+    ``--max-drift -1`` runs the pure incremental engine.
+    """
+    return dict(
+        max_avedis_drift=(
+            args.max_drift if args.max_drift is not None and args.max_drift >= 0 else None
+        ),
+        repack_every=(
+            args.repack_every if args.repack_every and args.repack_every > 0 else None
+        ),
+        max_fragmentation_drift=(
+            args.max_frag_drift
+            if args.max_frag_drift is not None and args.max_frag_drift >= 0
+            else None
+        ),
     )
+
+
+def cmd_eco(args: argparse.Namespace) -> int:
+    from repro.incremental import IncrementalLegalizer, save_delta_stream
     from repro.legality import LegalityChecker
     from repro.perf.report import incremental_summary
 
@@ -129,6 +187,8 @@ def cmd_eco(args: argparse.Namespace) -> int:
     if args.generate:
         from repro.benchgen import EcoSpec, generate_eco_stream
 
+        if args.deltas is None:
+            raise ValueError("eco --generate needs a DELTAS output path")
         spec = EcoSpec(
             churn=args.churn,
             batches=args.batches,
@@ -141,10 +201,17 @@ def cmd_eco(args: argparse.Namespace) -> int:
               f"{len(stream)} batches to {args.deltas}")
         return 0
 
-    stream = load_delta_stream(args.deltas)
+    if args.soak:
+        return _run_soak(args, layout)
+
+    if args.deltas is None:
+        raise ValueError("eco needs a DELTAS file to replay (or --generate / --soak)")
+    stream = _load_stream(args.deltas)
     print("input design :", layout.summary())
     engine = IncrementalLegalizer(
-        _make_legalizer(args.backend), full_threshold=args.churn_threshold
+        _make_legalizer(args.backend),
+        full_threshold=args.churn_threshold,
+        **_drift_knobs(args),
     )
     base = engine.begin(layout)
     if base is not None:
@@ -163,11 +230,47 @@ def cmd_eco(args: argparse.Namespace) -> int:
     if final is not None:
         total_dirty = sum(s.dirty_total for s in engine.history)
         print(f"stream total : {len(stream)} batches, {total_dirty} cells "
-              f"re-legalized, {sum(s.wall_seconds for s in engine.history):.3f}s")
+              f"re-legalized, {engine.repacks_total} repacks, "
+              f"{sum(s.wall_seconds for s in engine.history):.3f}s")
     if args.output is not None:
         _save_layout(layout, args.output)
         print(f"saved        : {args.output}")
     return status if report.legal else 1
+
+
+def _run_soak(args: argparse.Namespace, layout: Layout) -> int:
+    """``repro eco --soak``: long-stream quality-drift soak of a design."""
+    from repro.experiments.eco_soak import soak_layout, soak_result_table
+    from repro.legality import LegalityChecker
+
+    knobs = _drift_knobs(args)
+    if args.max_drift is None:
+        # The soak exists to exercise the governor: default the budget on.
+        knobs["max_avedis_drift"] = 0.05
+    print("input design :", layout.summary())
+    payload = soak_layout(
+        layout,
+        batches=args.soak_batches,
+        churn=args.churn,
+        backend=args.backend,
+        eco_seed=args.seed,
+        macro_move_probability=args.macro_churn,
+        full_threshold=args.churn_threshold,
+        **knobs,
+    )
+    print(soak_result_table(payload, sample_every=args.sample_every).format())
+    if args.soak_json is not None:
+        Path(args.soak_json).write_text(
+            json.dumps(payload, indent=1), encoding="utf-8"
+        )
+        print(f"trajectory   : {args.soak_json}")
+    report = LegalityChecker().check(layout)
+    print(f"legality     : {report.summary()}")
+    if args.output is not None:
+        _save_layout(layout, args.output)
+        print(f"saved        : {args.output}")
+    status = 0 if report.legal and not payload["final"]["failed_batches"] else 1
+    return status
 
 
 # ----------------------------------------------------------------------
@@ -195,11 +298,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.set_defaults(func=cmd_bench)
 
     p_eco = sub.add_parser(
-        "eco", help="replay (or generate) an ECO delta stream against a design"
+        "eco", help="replay (or generate) an ECO delta stream against a design, "
+                    "or soak it over a long stream"
     )
     p_eco.add_argument("design", type=Path, help="input design (.json or .cells)")
-    p_eco.add_argument("deltas", type=Path, help="delta-stream JSON (read, or written "
-                                                 "with --generate)")
+    p_eco.add_argument("deltas", type=Path, nargs="?", default=None,
+                       help="delta-stream JSON (read, or written with --generate; "
+                            "unused with --soak)")
     p_eco.add_argument("-o", "--output", type=Path, default=None,
                        help="write the final layout here (.json or .cells)")
     p_eco.add_argument("--backend", default="numpy",
@@ -207,28 +312,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_eco.add_argument("--churn-threshold", type=float, default=0.5,
                        help="dirty fraction above which a full re-legalization runs "
                             "(default 0.5)")
+    p_eco.add_argument("--max-drift", type=float, default=None,
+                       help="relative AveDis drift budget triggering a repack "
+                            "(e.g. 0.05; negative disables; default off, "
+                            "0.05 under --soak)")
+    p_eco.add_argument("--repack-every", type=int, default=None,
+                       help="scheduled repack period in batches (default off)")
+    p_eco.add_argument("--max-frag-drift", type=float, default=None,
+                       help="absolute free-space fragmentation growth budget "
+                            "triggering a repack (negative disables; default off)")
     p_eco.add_argument("--generate", action="store_true",
                        help="generate a seeded delta stream into DELTAS instead of replaying")
     p_eco.add_argument("--churn", type=float, default=0.05,
-                       help="with --generate: fraction of cells touched per batch")
+                       help="with --generate/--soak: fraction of cells touched per batch")
     p_eco.add_argument("--batches", type=int, default=3,
                        help="with --generate: number of delta batches")
     p_eco.add_argument("--seed", type=int, default=0,
-                       help="with --generate: stream seed")
+                       help="with --generate/--soak: stream seed")
     p_eco.add_argument("--macro-churn", type=float, default=0.0,
-                       help="with --generate: per-batch fixed-macro move probability")
+                       help="with --generate/--soak: per-batch fixed-macro move probability")
+    p_eco.add_argument("--soak", action="store_true",
+                       help="long-stream quality-drift soak: generate and replay "
+                            "--soak-batches seeded batches, record the AveDis/"
+                            "fragmentation trajectory, compare the final layout "
+                            "against a from-scratch full legalization")
+    p_eco.add_argument("--soak-batches", type=int, default=200,
+                       help="with --soak: number of delta batches (default 200)")
+    p_eco.add_argument("--soak-json", type=Path, default=None,
+                       help="with --soak: write the trajectory payload here "
+                            "(e.g. BENCH_eco_soak.json)")
+    p_eco.add_argument("--sample-every", type=int, default=10,
+                       help="with --soak: trajectory table sampling period")
     p_eco.set_defaults(func=cmd_eco)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Console entry point (``repro`` / ``python -m repro``)."""
+    """Console entry point (``repro`` / ``python -m repro``).
+
+    Subcommand exit codes propagate unchanged (0 success, 1 failed
+    legalization / legality); user errors — missing or corrupt design
+    and delta files, bad parameter values — exit 2 with a one-line
+    ``file:line``-style message instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except (OSError, ValueError) as exc:
-        # Bad paths and malformed design/delta files are user errors:
-        # report them in one line instead of a traceback.
+    except OSError as exc:
+        # Bad paths: prefer the "path: reason" spelling over the raw
+        # "[Errno 2] ..." repr.
+        detail = (
+            f"{exc.filename}: {exc.strerror}"
+            if exc.filename and exc.strerror
+            else str(exc)
+        )
+        print(f"repro {args.command}: error: {detail}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # Malformed design/delta files and bad parameters are user
+        # errors: report them in one line instead of a traceback.
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
 

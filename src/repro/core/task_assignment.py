@@ -21,6 +21,7 @@ needs to model Fig. 10.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -219,6 +220,9 @@ class ShardPlan:
     components: List[List[int]] = field(default_factory=list)
     windows: Dict[int, TargetWindowRect] = field(default_factory=dict)
     worker_of: Dict[int, int] = field(default_factory=dict)
+    n_seed_clusters: int = 0
+    """Number of dirty-cluster seeds the packing honoured (0 when the
+    plan was built from window overlaps alone)."""
 
     def stats(self) -> Dict[str, object]:
         """Summary statistics recorded into ``LegalizationTrace.shard_stats``."""
@@ -228,6 +232,7 @@ class ShardPlan:
             "largest_component": max((len(c) for c in self.components), default=0),
             "shard_targets": sizes,
             "n_nonempty_shards": sum(1 for s in sizes if s),
+            "n_seed_clusters": self.n_seed_clusters,
         }
 
     def parallelism(self) -> int:
@@ -324,6 +329,94 @@ def _connected_components(windows: Sequence[TargetWindowRect]) -> List[List[int]
     return [groups[root] for root in sorted(groups, key=lambda r: min(groups[r]))]
 
 
+def cluster_targets(
+    layout: "Layout",
+    targets: Sequence["Cell"],
+    *,
+    x_radius: float = 12.0,
+    row_radius: int = 3,
+) -> List[List[int]]:
+    """Group targets into spatial dirty clusters (ECO shard seeds).
+
+    An ECO dirty set is not spread uniformly over the chip: it clumps
+    around the footprints the delta batch touched (a moved macro's old
+    and new location, a resized cell's row, an insertion's
+    neighbourhood).  This groups the targets by rectangle proximity —
+    two targets belong to the same cluster when their rectangles,
+    expanded by ``x_radius`` sites and ``row_radius`` rows, overlap
+    (transitively) — using the same deterministic union-find sweep as
+    the window-overlap components.
+
+    Returns clusters as lists of cell indices, ordered by each cluster's
+    first member in ``targets`` order.  The result is a *seeding hint*
+    for :func:`plan_shards`: it never overrides the window-overlap
+    safety invariant, it only keeps each spatial cluster on one worker.
+    """
+    rects = [
+        TargetWindowRect(
+            cell_index=t.index,
+            x_lo=t.x - x_radius,
+            x_hi=t.x + t.width + x_radius,
+            row_lo=int(math.floor(t.y)) - row_radius,
+            row_hi=int(math.ceil(t.y + t.height)) + row_radius,
+        )
+        for t in targets
+    ]
+    return [
+        [rects[pos].cell_index for pos in component]
+        for component in _connected_components(rects)
+    ]
+
+
+def _merge_components_by_seeds(
+    components: List[List[int]],
+    windows: Sequence[TargetWindowRect],
+    cluster_seeds: Sequence[Sequence[int]],
+) -> List[List[int]]:
+    """Coarsen window components so each seed cluster stays together.
+
+    Components already guarantee cross-worker window disjointness;
+    merging two components can only *coarsen* the partition, so the
+    merged grouping keeps that guarantee (and the escape validation
+    unchanged).  Seeds referencing unknown cell indices are ignored.
+    """
+    cluster_of: Dict[int, int] = {}
+    for cid, members in enumerate(cluster_seeds):
+        for cell_index in members:
+            cluster_of[cell_index] = cid
+
+    parent = list(range(len(components)))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    first_component_of: Dict[int, int] = {}
+    for comp_id, component in enumerate(components):
+        for pos in component:
+            cid = cluster_of.get(windows[pos].cell_index)
+            if cid is None:
+                continue
+            if cid in first_component_of:
+                union(comp_id, first_component_of[cid])
+            else:
+                first_component_of[cid] = comp_id
+
+    groups: Dict[int, List[int]] = {}
+    for comp_id, component in enumerate(components):
+        groups.setdefault(find(comp_id), []).extend(component)
+    merged = [sorted(group) for group in groups.values()]
+    merged.sort(key=min)  # deterministic: by first processing-order member
+    return merged
+
+
 def plan_shards(
     layout: "Layout",
     ordered_targets: Sequence["Cell"],
@@ -336,6 +429,7 @@ def plan_shards(
     growth: Optional[float] = None,
     max_growths: Optional[int] = None,
     use_planner: bool = True,
+    cluster_seeds: Optional[Sequence[Sequence[int]]] = None,
 ) -> ShardPlan:
     """Partition an ordered target sequence into conflict-free shards.
 
@@ -345,6 +439,15 @@ def plan_shards(
     count.  Every target lands on exactly one worker and keeps its global
     processing rank, so each shard replayed sequentially is exactly the
     reference algorithm restricted to that shard.
+
+    ``cluster_seeds`` (the ECO mode, see :func:`cluster_targets`)
+    additionally merges the window components so every seed cluster's
+    targets land on one worker: a dirty cluster's retries expand into
+    its own spatial neighbourhood, so keeping the neighbourhood on one
+    worker turns would-be cross-worker escapes (which force a sequential
+    re-run) into harmless same-worker overlaps.  Merging only coarsens
+    the window-disjoint partition, so results stay bit-for-bit identical
+    to the sequential reference at any worker count.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
@@ -363,8 +466,11 @@ def plan_shards(
         for target in ordered_targets
     ]
     components = _connected_components(windows)
+    if cluster_seeds:
+        components = _merge_components_by_seeds(components, windows, cluster_seeds)
 
     plan = ShardPlan(n_workers=n_workers, shards=[[] for _ in range(n_workers)])
+    plan.n_seed_clusters = len(cluster_seeds) if cluster_seeds else 0
     plan.windows = {w.cell_index: w for w in windows}
     plan.components = [
         [windows[pos].cell_index for pos in component] for component in components

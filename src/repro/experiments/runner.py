@@ -20,6 +20,7 @@ from repro.experiments.fig6 import run_fig6_sorting_share
 from repro.experiments.fig8 import run_fig8_ladder
 from repro.experiments.fig9 import run_fig9_sacs
 from repro.experiments.eco_churn import run_eco_churn
+from repro.experiments.eco_soak import run_eco_soak
 from repro.experiments.fig10 import run_fig10_task_assignment
 from repro.experiments.scalability import run_worker_scalability
 from repro.experiments.table1 import run_table1
@@ -34,6 +35,7 @@ def run_all(
     figure_names: Optional[Sequence[str]] = None,
     host_scaling: bool = False,
     eco: bool = False,
+    eco_soak: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """Run every table / figure experiment and return the results by key."""
     figure_names = list(figure_names) if figure_names is not None else list(DEFAULT_FIGURE_BENCHMARKS)
@@ -51,6 +53,12 @@ def run_all(
         results["host_scaling"] = run_worker_scalability(scale=scale, seed=seed)
     if eco:
         results["eco_churn"] = run_eco_churn(scale=scale, seed=seed)
+    if eco_soak:
+        results["eco_soak"] = run_eco_soak(
+            num_cells=max(120, int(round(112644 * scale))),
+            seed=seed if seed is not None else 1,
+            batches=100, churn=0.02, max_avedis_drift=0.05, repack_every=25,
+        )
     return results
 
 
@@ -58,7 +66,7 @@ def format_report(results: Dict[str, ExperimentResult]) -> str:
     """Render all experiment results as one plain-text report."""
     blocks = []
     keys = ["table1", "table2", "fig2a", "fig2bc", "fig2g", "fig6g", "fig8", "fig9",
-            "fig10", "host_scaling", "eco_churn"]
+            "fig10", "host_scaling", "eco_churn", "eco_soak"]
     for key in keys:
         if key in results:
             blocks.append(results[key].format())
@@ -77,13 +85,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also run the measured multiprocess worker sweep")
     parser.add_argument("--eco", action="store_true",
                         help="also run the ECO churn sweep (incremental vs full re-runs)")
+    parser.add_argument("--eco-soak", action="store_true",
+                        help="also run the 100-batch displacement-bounded ECO soak")
     parser.add_argument("--output", type=str, default=None, help="write the report to this file")
     args = parser.parse_args(argv)
 
     table1_names = list(DEFAULT_FIGURE_BENCHMARKS) if args.quick else benchmark_names()
     start = time.perf_counter()
     results = run_all(scale=args.scale, seed=args.seed, table1_names=table1_names,
-                      host_scaling=args.host_scaling, eco=args.eco)
+                      host_scaling=args.host_scaling, eco=args.eco,
+                      eco_soak=args.eco_soak)
     report = format_report(results)
     report += f"\n\nharness wall time: {time.perf_counter() - start:.1f} s\n"
     if args.output:

@@ -300,6 +300,13 @@ class Layout:
         """
         if cell.fixed == fixed:
             return
+        if not fixed and cell.width == 0.0:
+            # A zero-width fixed marker is a tombstone (retire_cell) or a
+            # blockage pin; freeing it would mint an invalid zero-width
+            # movable cell that breaks Layout.copy() and Cell invariants.
+            raise ValueError(
+                f"cell {cell.name} has zero width and cannot become movable"
+            )
         if cell.fixed or cell.legalized:
             self._remove_from_index(cell)
         cell.fixed = fixed
@@ -436,6 +443,56 @@ class Layout:
         return sum(
             self.row_free_capacity(row, x_lo, x_hi) for row in range(row_lo, row_hi)
         )
+
+    def mean_movable_width(self) -> float:
+        """Mean width of the live movable cells (1.0 for an empty design)."""
+        widths = [c.width for c in self.cells if not c.fixed and c.width > 0]
+        if not widths:
+            return 1.0
+        return sum(widths) / len(widths)
+
+    def free_space_fragmentation(self, min_gap: Optional[float] = None) -> float:
+        """Fraction of free row capacity trapped in gaps below ``min_gap``.
+
+        A long ECO stream chops the free space into slivers: the total
+        free capacity stays roughly constant while the *usable* capacity
+        (gaps wide enough to host a typical cell) erodes, which is what
+        makes later insertions drift far from their desired positions.
+        This metric quantifies that erosion — 0.0 means every free site
+        sits in a gap at least ``min_gap`` wide, 1.0 means all free space
+        is unusable slivers.  ``min_gap`` defaults to the mean live
+        movable-cell width.  A design with no free space reports 0.0.
+
+        Walks each row's obstacle index once, so it is O(total obstacle
+        entries) — cheap enough to evaluate once per ECO batch.
+        """
+        if min_gap is None:
+            min_gap = self.mean_movable_width()
+        total_free = 0.0
+        usable_free = 0.0
+        for row in range(self.num_rows):
+            span = self.rows[row].span
+            cursor = span.lo
+            for cell in self.obstacles_in_row(row):
+                if cell.width <= 0:
+                    # Tombstones and zero-width fixed markers occupy
+                    # nothing; counting them would split a contiguous
+                    # gap into phantom slivers.
+                    continue
+                gap = min(cell.x, span.hi) - cursor
+                if gap > 0:
+                    total_free += gap
+                    if gap >= min_gap:
+                        usable_free += gap
+                cursor = max(cursor, min(cell.right, span.hi))
+            gap = span.hi - cursor
+            if gap > 0:
+                total_free += gap
+                if gap >= min_gap:
+                    usable_free += gap
+        if total_free <= 0:
+            return 0.0
+        return 1.0 - usable_free / total_free
 
     def iter_obstacle_pairs(self) -> Iterator[Tuple[Cell, Cell]]:
         """Yield pairs of horizontally adjacent obstacles in each row.

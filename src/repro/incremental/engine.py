@@ -55,12 +55,19 @@ from repro.incremental.deltas import (
 )
 from repro.kernels import BackendSpec
 from repro.mgl.legalizer import LegalizationResult, MGLLegalizer
-from repro.perf.counters import IncrementalStats
+from repro.perf.counters import IncrementalStats, LegalizationTrace
 
 #: Default dirty fraction above which a full re-legalization is cheaper
 #: than an incremental pass (the dirty set is most of the design anyway,
 #: and the full run amortises its world rebuild over every cell).
 DEFAULT_FULL_THRESHOLD = 0.5
+
+
+def _relative_drift(value: float, baseline: float) -> float:
+    """Relative drift of ``value`` over ``baseline`` (0.0 for baseline 0)."""
+    if baseline <= 0.0:
+        return 0.0
+    return value / baseline - 1.0
 
 
 # ----------------------------------------------------------------------
@@ -89,10 +96,32 @@ def _live_cell(layout: Layout, index: int) -> Cell:
     return cell
 
 
+def _require_fits_chip(layout: Layout, width: float, height: int, *, what: str) -> None:
+    """Reject dimensions no position on the chip can host.
+
+    The old clamp silently parked an oversized cell at the origin with
+    its rectangle hanging off the chip — an out-of-chip "placement" that
+    every later query (occupancy, legality, shard windows) mishandles in
+    its own way.  Degenerate geometry is a caller error; raise it.
+    """
+    if width > layout.width or height > layout.num_rows:
+        raise ValueError(
+            f"{what}: cell of width {width} x height {height} does not fit "
+            f"the chip ({layout.width:g} sites x {layout.num_rows} rows)"
+        )
+
+
 def _clip_position(layout: Layout, x: float, y: float, width: float, height: int):
-    """Clamp a desired position so the cell's rectangle stays on-chip."""
-    x = min(max(0.0, float(x)), max(0.0, layout.width - width))
-    y = min(max(0.0, float(y)), max(0.0, float(layout.num_rows - height)))
+    """Clamp a desired position so the cell's rectangle stays on-chip.
+
+    Raises :class:`ValueError` when the cell is wider or taller than the
+    chip itself (no clamp can make it fit); negative origins and
+    past-the-edge positions clamp to the nearest in-chip position,
+    including exactly onto the chip boundary (zero clearance is legal).
+    """
+    _require_fits_chip(layout, width, height, what="clip")
+    x = min(max(0.0, float(x)), layout.width - width)
+    y = min(max(0.0, float(y)), float(layout.num_rows - height))
     return x, y
 
 
@@ -102,9 +131,16 @@ def _snap_fixed_position(layout: Layout, x: float, y: float, width: float, heigh
     The per-row obstacle index registers a cell in the rows of its
     *rounded* bottom coordinate, so an off-grid blockage would physically
     overhang rows the legalizer cannot see.  Every design source places
-    blockages on-grid; ECO macro deltas must land there too.
+    blockages on-grid; ECO macro deltas must land there too.  Clipping
+    must preserve the grid: for a fractional-width macro the raw clamp
+    bound ``chip_width - width`` is itself off-grid, so the upper bounds
+    are floored to the last on-grid position that keeps the rectangle
+    on-chip.
     """
-    return _clip_position(layout, round(x), round(y), width, height)
+    _require_fits_chip(layout, width, height, what="snap")
+    x = min(max(0.0, float(round(x))), float(math.floor(layout.width - width)))
+    y = min(max(0.0, float(round(y))), float(layout.num_rows - height))
+    return x, y
 
 
 class _DirtyTracker:
@@ -176,6 +212,7 @@ def validate_deltas(layout: Layout, deltas: Sequence[Delta]) -> None:
     retired = {c.index for c in layout.cells if layout.is_retired(c)}
     fixed: Dict[int, bool] = {}
     widths: Dict[int, float] = {}
+    heights: Dict[int, int] = {}
 
     def live(index: int, op: str) -> None:
         if not 0 <= index < n:
@@ -189,25 +226,43 @@ def validate_deltas(layout: Layout, deltas: Sequence[Delta]) -> None:
     def width_of(index: int) -> float:
         return widths.get(index, layout.cells[index].width if index < len(layout.cells) else 1.0)
 
+    def height_of(index: int) -> int:
+        return heights.get(index, layout.cells[index].height if index < len(layout.cells) else 1)
+
+    def fits(width: float, height: int, op: str) -> None:
+        if width > layout.width or height > layout.num_rows:
+            raise ValueError(
+                f"{op} delta: cell of width {width} x height {height} does not "
+                f"fit the chip ({layout.width:g} sites x {layout.num_rows} rows)"
+            )
+
     for delta in deltas:
         if isinstance(delta, MoveCell):
             live(delta.index, "move")
+            # A base layout may hold a cell larger than the chip (a
+            # malformed import); moving it would otherwise raise deep in
+            # apply_deltas, after earlier deltas already mutated state.
+            fits(width_of(delta.index), height_of(delta.index), "move")
         elif isinstance(delta, ResizeCell):
             live(delta.index, "resize")
             width = width_of(delta.index) if delta.width is None else float(delta.width)
-            height = delta.height
+            height = height_of(delta.index) if delta.height is None else int(delta.height)
             if width < 0 or (width == 0 and not is_fixed(delta.index)):
                 raise ValueError(f"resize delta: width must be positive, got {width}")
-            if height is not None and int(height) < 1:
-                raise ValueError(f"resize delta: height must be >= 1, got {height}")
+            if delta.height is not None and int(delta.height) < 1:
+                raise ValueError(f"resize delta: height must be >= 1, got {delta.height}")
+            fits(width, height, "resize")
             widths[delta.index] = width
+            heights[delta.index] = height
         elif isinstance(delta, InsertCell):
             if delta.width < 0 or (delta.width == 0 and not delta.fixed):
                 raise ValueError(f"insert delta: width must be positive, got {delta.width}")
             if int(delta.height) < 1:
                 raise ValueError(f"insert delta: height must be >= 1, got {delta.height}")
+            fits(float(delta.width), int(delta.height), "insert")
             fixed[n] = delta.fixed
             widths[n] = float(delta.width)
+            heights[n] = int(delta.height)
             if delta.fixed and delta.width == 0.0:
                 # A zero-width fixed marker is indistinguishable from a
                 # tombstone; later deltas must not address it.
@@ -218,6 +273,11 @@ def validate_deltas(layout: Layout, deltas: Sequence[Delta]) -> None:
             retired.add(delta.index)
         elif isinstance(delta, SetFixed):
             live(delta.index, "set_fixed")
+            if delta.fixed:
+                # Freezing a floating cell snaps it to the grid, which
+                # rejects cells larger than the chip — check here so the
+                # batch stays atomic.
+                fits(width_of(delta.index), height_of(delta.index), "set_fixed")
             if not delta.fixed and width_of(delta.index) == 0.0:
                 raise ValueError(
                     f"set_fixed delta: cell index {delta.index} has zero width "
@@ -381,11 +441,51 @@ class IncrementalLegalizer:
     full_threshold:
         Dirty fraction (dirty cells / movable cells) above which the
         engine resets every movable cell and runs a full legalization
-        instead of an incremental pass.
+        instead of an incremental pass.  ``0.0`` forces the full path on
+        *any* dirt (every non-empty batch); ``1.0`` never takes it.
+    max_avedis_drift:
+        Displacement budget of the quality governor: the maximum
+        *relative* AveDis drift tolerated over the quality baseline
+        snapshot (e.g. ``0.05`` = 5 %).  After an incremental pass whose
+        AveDis exceeds ``baseline * (1 + max_avedis_drift)`` the engine
+        **repacks** — resets every movable cell to its global placement
+        position and runs one full legalization — and refreshes the
+        baseline from the repacked layout.  ``None`` (default) disables
+        the reactive repack, preserving the pure incremental semantics
+        (bit-for-bit equal to :func:`reference_relegalize`).
+    repack_every:
+        Scheduled repack period: every ``repack_every``-th non-empty
+        batch runs a repack instead of an incremental pass, regardless
+        of measured drift.  ``None`` (default) disables the schedule.
+    max_fragmentation_drift:
+        Fragmentation budget: maximum *absolute* increase of
+        :meth:`~repro.geometry.layout.Layout.free_space_fragmentation`
+        over the baseline snapshot before a repack fires (fragmentation
+        is already a 0–1 fraction, so the budget is an absolute delta,
+        e.g. ``0.15``).  ``None`` (default) disables the check.
+    fragmentation_min_gap:
+        Gap width below which free space counts as fragmented; defaults
+        to the layout's mean movable-cell width.
+    track_fragmentation:
+        Record the fragmentation trajectory in the per-call stats even
+        when no fragmentation budget is set (the soak harness wants the
+        curve without the governor).  Defaults to "only when
+        ``max_fragmentation_drift`` is set".
+
+    Long ECO streams are where the budgets matter: each incremental pass
+    is locally optimal, but AveDis can ratchet upward batch over batch
+    (the paper's "repeated local legalization degrades global quality"
+    failure mode).  The governor bounds that drift at the cost of an
+    occasional full repack; ``repacks_total`` / ``batches_since_repack``
+    on the engine and the per-call :class:`IncrementalStats` expose when
+    and why it intervened.  Repack decisions depend only on placements,
+    which are bit-for-bit identical across kernel backends, so a
+    governed stream still ends in the same layout on every backend and
+    worker count.
 
     Usage::
 
-        engine = IncrementalLegalizer(backend="numpy")
+        engine = IncrementalLegalizer(backend="numpy", max_avedis_drift=0.05)
         engine.begin(layout)               # full legalization if needed
         result = engine.apply(deltas)      # one ECO batch
         print(incremental_summary(result.stats))
@@ -397,6 +497,11 @@ class IncrementalLegalizer:
         *,
         backend: BackendSpec = None,
         full_threshold: float = DEFAULT_FULL_THRESHOLD,
+        max_avedis_drift: Optional[float] = None,
+        repack_every: Optional[int] = None,
+        max_fragmentation_drift: Optional[float] = None,
+        fragmentation_min_gap: Optional[float] = None,
+        track_fragmentation: Optional[bool] = None,
     ) -> None:
         if legalizer is None:
             legalizer = MGLLegalizer(backend=backend)
@@ -404,11 +509,45 @@ class IncrementalLegalizer:
             legalizer = legalizer.with_backend(backend)
         if not 0.0 <= full_threshold <= 1.0:
             raise ValueError(f"full_threshold must be in [0, 1], got {full_threshold}")
+        if max_avedis_drift is not None and max_avedis_drift < 0.0:
+            raise ValueError(
+                f"max_avedis_drift must be >= 0, got {max_avedis_drift}"
+            )
+        if repack_every is not None and int(repack_every) < 1:
+            raise ValueError(f"repack_every must be >= 1, got {repack_every}")
+        if max_fragmentation_drift is not None and max_fragmentation_drift < 0.0:
+            raise ValueError(
+                f"max_fragmentation_drift must be >= 0, got {max_fragmentation_drift}"
+            )
+        if max_fragmentation_drift is not None and track_fragmentation is False:
+            # An untracked baseline would freeze at 0.0, silently turning
+            # the relative budget into an absolute cap that repacks every
+            # batch once fragmentation exceeds it.
+            raise ValueError(
+                "max_fragmentation_drift requires fragmentation tracking; "
+                "leave track_fragmentation unset (or True)"
+            )
         self.legalizer = legalizer
         self.full_threshold = full_threshold
+        self.max_avedis_drift = max_avedis_drift
+        self.repack_every = None if repack_every is None else int(repack_every)
+        self.max_fragmentation_drift = max_fragmentation_drift
+        self.fragmentation_min_gap = fragmentation_min_gap
+        self.track_fragmentation = (
+            max_fragmentation_drift is not None
+            if track_fragmentation is None
+            else bool(track_fragmentation)
+        )
         self.layout: Optional[Layout] = None
         #: Per-call reuse counters, most recent last.
         self.history: List[IncrementalStats] = []
+        #: Repacks performed over the engine's lifetime.
+        self.repacks_total = 0
+        #: Non-empty batches since the last baseline refresh.
+        self.batches_since_repack = 0
+        self._baseline_avedis: float = 0.0
+        self._baseline_frag: float = 0.0
+        self._last_displacement = None  # DisplacementStats of the layout
 
     # ------------------------------------------------------------------
     def begin(self, layout: Layout) -> Optional[LegalizationResult]:
@@ -417,14 +556,94 @@ class IncrementalLegalizer:
         If the layout still has unlegalized movable cells they are
         legalized now (one full run); an already-legal layout is adopted
         as-is after one index build — the last full rebuild the engine
-        ever pays.
+        ever pays.  Either way the adopted state becomes the quality
+        baseline the drift budgets are measured against.
         """
         self.layout = layout
         self.history = []
+        self.repacks_total = 0
+        result: Optional[LegalizationResult] = None
         if layout.unlegalized_cells():
-            return self.legalizer.legalize(layout)
-        layout.rebuild_index()
-        return None
+            result = self.legalizer.legalize(layout)
+            self._last_displacement = result.stats
+        else:
+            layout.rebuild_index()
+            self._last_displacement = self.legalizer.metrics.compute(layout)
+        self._refresh_baseline(self._last_displacement.average_displacement)
+        return result
+
+    # ------------------------------------------------------------------
+    def _fragmentation(self) -> float:
+        assert self.layout is not None
+        return self.layout.free_space_fragmentation(self.fragmentation_min_gap)
+
+    def _refresh_baseline(self, avedis: float) -> None:
+        """Snapshot the current layout as the quality baseline."""
+        self._baseline_avedis = avedis
+        if self.track_fragmentation:
+            self._baseline_frag = self._fragmentation()
+        self.batches_since_repack = 0
+
+    def _repack(self) -> LegalizationResult:
+        """Reset every movable cell and re-legalize the whole design."""
+        assert self.layout is not None
+        self.layout.reset_positions()
+        result = self.legalizer.legalize(self.layout)
+        self.repacks_total += 1
+        self._refresh_baseline(result.stats.average_displacement)
+        return result
+
+    def _drift_reason(self, avedis: float, fragmentation: float) -> str:
+        """Which budget (if any) the post-pass layout state exceeds."""
+        if self.max_avedis_drift is not None:
+            allowed = self._baseline_avedis * (1.0 + self.max_avedis_drift)
+            if avedis > allowed + 1e-12:
+                return "drift"
+        if self.max_fragmentation_drift is not None:
+            if fragmentation > self._baseline_frag + self.max_fragmentation_drift:
+                return "fragmentation"
+        return ""
+
+    def _noop_result(self, start: float) -> IncrementalResult:
+        """An empty batch: nothing changed, so nothing runs.
+
+        No validation sweep, no dirty-set computation, no subset
+        machinery, no metric recomputation — the previous displacement
+        statistics are still exact because the layout is untouched.
+        """
+        assert self.layout is not None
+        layout = self.layout
+        displacement = self._last_displacement
+        if displacement is None:  # begin() always sets it; stay safe
+            displacement = self.legalizer.metrics.compute(layout)
+            self._last_displacement = displacement
+        trace = LegalizationTrace(
+            design_name=layout.name,
+            algorithm=getattr(self.legalizer, "algorithm_name", "mgl"),
+            num_cells=len(layout.cells),
+            num_movable=displacement.num_cells,
+        )
+        legalization = LegalizationResult(layout=layout, trace=trace, stats=displacement)
+        prev = self.history[-1] if self.history else None
+        stats = IncrementalStats(
+            num_movable=displacement.num_cells,
+            reused_cells=displacement.num_cells,
+            mode="noop",
+            full_threshold=self.full_threshold,
+            wall_seconds=time.perf_counter() - start,
+            avedis=displacement.average_displacement,
+            baseline_avedis=self._baseline_avedis,
+            avedis_drift=_relative_drift(
+                displacement.average_displacement, self._baseline_avedis
+            ),
+            fragmentation=prev.fragmentation if prev else self._baseline_frag,
+            fragmentation_tracked=self.track_fragmentation,
+            baseline_fragmentation=self._baseline_frag,
+            repacks_total=self.repacks_total,
+            batches_since_repack=self.batches_since_repack,
+        )
+        self.history.append(stats)
+        return IncrementalResult(legalization=legalization, stats=stats)
 
     # ------------------------------------------------------------------
     def apply(self, deltas: Sequence[Delta]) -> IncrementalResult:
@@ -432,12 +651,19 @@ class IncrementalLegalizer:
 
         Returns the re-legalization result together with the dirty-set /
         reuse counters.  The placements of all non-dirty cells are
-        reused unchanged.
+        reused unchanged — unless this call triggered a repack, in which
+        case every movable cell was re-derived from its global placement
+        position.
         """
         if self.layout is None:
-            raise RuntimeError("IncrementalLegalizer.apply called before begin()")
+            raise RuntimeError(
+                "IncrementalLegalizer.apply() called before begin(); adopt a "
+                "layout with begin(layout) first"
+            )
         layout = self.layout
         start = time.perf_counter()
+        if len(deltas) == 0:
+            return self._noop_result(start)
         # An invalid batch raises here, before any mutation: the layout
         # is untouched and the engine stays usable.
         validate_deltas(layout, deltas)
@@ -452,15 +678,44 @@ class IncrementalLegalizer:
         num_movable = len(layout.movable_cells())
         dirty_cells = [layout.cells[i] for i in applied.dirty]
         dirty_fraction = len(dirty_cells) / max(1, num_movable)
+        self.batches_since_repack += 1
+        repack_reason = ""
 
-        if dirty_fraction > self.full_threshold:
+        force_full = bool(dirty_cells) and (
+            dirty_fraction > self.full_threshold or self.full_threshold == 0.0
+        )
+        fragmentation = 0.0
+        if force_full:
             mode = "full"
             layout.reset_positions()
             result = self.legalizer.legalize(layout)
+            # A full reset re-derives every placement from its global
+            # position — exactly what a repack produces — so it refreshes
+            # the baseline (but is not counted as a governor repack).
+            self._refresh_baseline(result.stats.average_displacement)
+            fragmentation = self._baseline_frag  # just snapshotted from this state
+        elif (
+            self.repack_every is not None
+            and self.batches_since_repack >= self.repack_every
+        ):
+            mode, repack_reason = "repack", "scheduled"
+            result = self._repack()
+            fragmentation = self._baseline_frag
         else:
             mode = "incremental"
             result = self.legalizer.legalize_subset(layout, dirty_cells)
+            if self.track_fragmentation:
+                fragmentation = self._fragmentation()
+            reason = self._drift_reason(
+                result.stats.average_displacement, fragmentation
+            )
+            if reason:
+                mode, repack_reason = "repack", reason
+                result = self._repack()
+                fragmentation = self._baseline_frag
 
+        self._last_displacement = result.stats
+        avedis = result.stats.average_displacement
         stats = IncrementalStats(
             deltas_applied=applied.deltas_applied,
             dirty_direct=applied.dirty_direct,
@@ -472,6 +727,15 @@ class IncrementalLegalizer:
             mode=mode,
             full_threshold=self.full_threshold,
             wall_seconds=time.perf_counter() - start,
+            avedis=avedis,
+            baseline_avedis=self._baseline_avedis,
+            avedis_drift=_relative_drift(avedis, self._baseline_avedis),
+            fragmentation=fragmentation,
+            fragmentation_tracked=self.track_fragmentation,
+            baseline_fragmentation=self._baseline_frag,
+            repack_reason=repack_reason,
+            repacks_total=self.repacks_total,
+            batches_since_repack=self.batches_since_repack,
         )
         self.history.append(stats)
         return IncrementalResult(legalization=result, stats=stats)

@@ -55,13 +55,16 @@ class KernelBackend(ABC):
     #: True for backends that parallelise whole legalization runs across
     #: OS processes (see :mod:`repro.kernels.mp_backend`).  Such backends
     #: additionally implement ``legalize_sharded(legalizer, layout,
-    #: ordered, trace)`` and :class:`~repro.mgl.legalizer.MGLLegalizer`
-    #: hands them the run after pre-move and ordering.  ``ordered`` is an
-    #: *explicit target subset*: it may cover every pending cell (a full
-    #: run) or only a dirty subset (an incremental re-legalization via
+    #: ordered, trace, *, clusters=None)`` and
+    #: :class:`~repro.mgl.legalizer.MGLLegalizer` hands them the run
+    #: after pre-move and ordering.  ``ordered`` is an *explicit target
+    #: subset*: it may cover every pending cell (a full run) or only a
+    #: dirty subset (an incremental re-legalization via
     #: ``MGLLegalizer.legalize_subset``); implementations must restrict
     #: themselves to exactly those targets and never pull in other
-    #: unlegalized cells of the layout.
+    #: unlegalized cells of the layout.  ``clusters`` optionally carries
+    #: the subset's spatial dirty clusters (lists of cell indices) as
+    #: shard-planning seeds; honouring them must never change results.
     supports_layout_parallel: bool = False
 
     #: True for backends that parallelise the FOP candidate loop *within*

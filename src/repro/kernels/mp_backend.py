@@ -535,7 +535,7 @@ class MultiprocessKernelBackend(KernelBackend):
     # ------------------------------------------------------------------
     # Layout-level sharded execution
     # ------------------------------------------------------------------
-    def legalize_sharded(self, legalizer, layout, ordered, trace) -> List[int]:
+    def legalize_sharded(self, legalizer, layout, ordered, trace, *, clusters=None) -> List[int]:
         """Legalize ``ordered`` targets of ``layout``, sharded over workers.
 
         Called by :meth:`repro.mgl.legalizer.MGLLegalizer.legalize` (and
@@ -543,6 +543,12 @@ class MultiprocessKernelBackend(KernelBackend):
         always an explicit target subset and is never widened here)
         after pre-move and ordering; fills ``trace`` exactly like the
         sequential path and returns the failed cell indices.
+
+        ``clusters`` optionally carries the spatial dirty clusters of an
+        ECO subset (lists of cell indices); the static shard planner
+        uses them as seeds so each dirty neighbourhood stays on one
+        worker.  Results are cluster-independent — seeding only changes
+        the packing, never the outcome.
         """
         stats: Dict[str, Any] = {
             "inner_backend": self.inner.name,
@@ -556,7 +562,9 @@ class MultiprocessKernelBackend(KernelBackend):
         trace.shard_stats = stats
         self._point_parallel_regions = 0
         try:
-            return self._legalize_sharded_impl(legalizer, layout, ordered, trace, stats)
+            return self._legalize_sharded_impl(
+                legalizer, layout, ordered, trace, stats, clusters
+            )
         finally:
             stats["point_parallel_regions"] = self._point_parallel_regions
             # Report the processes that actually executed FOP work: 1 for
@@ -568,7 +576,9 @@ class MultiprocessKernelBackend(KernelBackend):
             )
             trace.worker_count = self.workers if pool_ran else 1
 
-    def _legalize_sharded_impl(self, legalizer, layout, ordered, trace, stats) -> List[int]:
+    def _legalize_sharded_impl(
+        self, legalizer, layout, ordered, trace, stats, clusters=None
+    ) -> List[int]:
         from repro.core.task_assignment import plan_shards
 
         n_workers = min(self.workers, max(1, len(ordered)))
@@ -580,7 +590,13 @@ class MultiprocessKernelBackend(KernelBackend):
         if not parallel_viable:
             return legalizer._legalize_ordered(layout, ordered, trace)
 
-        plan = plan_shards(layout, ordered, n_workers, **legalizer.window_params())
+        plan = plan_shards(
+            layout,
+            ordered,
+            n_workers,
+            cluster_seeds=clusters,
+            **legalizer.window_params(),
+        )
         stats.update(plan.stats())
 
         largest = max((len(s) for s in plan.shards), default=0)

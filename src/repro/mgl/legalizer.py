@@ -241,6 +241,15 @@ class MGLLegalizer:
         on the same layout state: a full run's pending set would be the
         same cells, and the processing ordering, window planning and
         kernel backends all restrict naturally to the subset.
+
+        When the kernel backend shards across workers, the targets'
+        spatial dirty clusters (:func:`repro.core.task_assignment
+        .cluster_targets`) are handed to the shard planner as seeds, so
+        each ECO dirty neighbourhood stays on one worker — window
+        retries then expand inside their own worker's territory instead
+        of escaping into another's and forcing a sequential re-run.
+        Seeding only coarsens the window-disjoint partition, so results
+        remain bit-for-bit identical at any worker count.
         """
         start = time.perf_counter()
         for target in targets:
@@ -251,11 +260,24 @@ class MGLLegalizer:
                 )
             if layout.cells[target.index] is not target:
                 raise ValueError(f"cell {target.name} does not belong to this layout")
+        backend = resolve_backend(self.fop_config.backend)
+        clusters = None
+        if backend.supports_layout_parallel and targets:
+            from repro.core.task_assignment import cluster_targets
+
+            clusters = cluster_targets(
+                layout,
+                targets,
+                x_radius=self.window_min_width / 2.0,
+                row_radius=self.window_extra_rows,
+            )
         trace = self._new_trace(layout)
         for target in targets:
             premove_cell(layout, target)
         trace.premove_cells = len(targets)
-        return self._legalize_pending(layout, list(targets), trace, start)
+        return self._legalize_pending(
+            layout, list(targets), trace, start, shard_clusters=clusters
+        )
 
     # ------------------------------------------------------------------
     def _new_trace(self, layout: Layout) -> LegalizationTrace:
@@ -275,6 +297,8 @@ class MGLLegalizer:
         pending: List[Cell],
         trace: LegalizationTrace,
         start: float,
+        *,
+        shard_clusters: Optional[List[List[int]]] = None,
     ) -> LegalizationResult:
         """Order and legalize a pending target set (shared run tail)."""
         backend = resolve_backend(self.fop_config.backend)
@@ -287,7 +311,9 @@ class MGLLegalizer:
         if backend.supports_layout_parallel:
             # Sharded execution across worker processes; produces results
             # and work records bit-for-bit equal to the sequential run.
-            failed = backend.legalize_sharded(self, layout, ordered, trace)
+            failed = backend.legalize_sharded(
+                self, layout, ordered, trace, clusters=shard_clusters
+            )
         else:
             failed = self._legalize_ordered(layout, ordered, trace)
 

@@ -184,15 +184,56 @@ class IncrementalStats:
     were invalidated while applying the batch."""
 
     mode: str = "incremental"
-    """``"incremental"`` (dirty subset re-legalized) or ``"full"`` (the
+    """``"incremental"`` (dirty subset re-legalized), ``"full"`` (the
     dirtiness threshold was exceeded and the whole layout was reset and
-    re-legalized from scratch)."""
+    re-legalized from scratch), ``"repack"`` (a quality repack ran — see
+    ``repack_reason``) or ``"noop"`` (empty delta batch)."""
 
     full_threshold: float = 1.0
     """Dirty fraction above which the engine falls back to a full run."""
 
     wall_seconds: float = 0.0
     """End-to-end wall time of the incremental call (apply + legalize)."""
+
+    # --- displacement-bounded (quality-governed) mode -----------------
+    avedis: float = 0.0
+    """AveDis (``S_am``) of the layout at the end of the call."""
+
+    baseline_avedis: float = 0.0
+    """AveDis of the quality baseline snapshot in effect after the call
+    (refreshed whenever a full run or a repack re-derives every movable
+    placement from its global position)."""
+
+    avedis_drift: float = 0.0
+    """Relative AveDis drift vs the baseline snapshot at the end of the
+    call: ``avedis / baseline_avedis - 1`` (0.0 when the baseline is 0)."""
+
+    fragmentation: float = 0.0
+    """Free-space fragmentation of the layout at the end of the call
+    (:meth:`repro.geometry.layout.Layout.free_space_fragmentation`);
+    0.0 when fragmentation tracking is disabled."""
+
+    fragmentation_tracked: bool = False
+    """Whether the engine measured fragmentation this call (a real 0.0
+    reading is distinguishable from tracking-off)."""
+
+    baseline_fragmentation: float = 0.0
+    """Fragmentation of the quality baseline snapshot in effect after the
+    call (0.0 when fragmentation tracking is disabled)."""
+
+    repack_reason: str = ""
+    """Why a repack ran this call: ``"scheduled"`` (``repack_every``
+    batches elapsed), ``"drift"`` (AveDis drift exceeded the budget) or
+    ``"fragmentation"`` (fragmentation growth exceeded the budget).
+    Empty when no repack ran."""
+
+    repacks_total: int = 0
+    """Cumulative repacks the engine has performed over its lifetime
+    (monotonically non-decreasing across a delta stream)."""
+
+    batches_since_repack: int = 0
+    """Non-empty batches applied since the last baseline refresh (a full
+    run, a repack, or ``begin()``)."""
 
     @property
     def dirty_fraction(self) -> float:
@@ -215,6 +256,15 @@ class IncrementalStats:
             "mode": self.mode,
             "full_threshold": self.full_threshold,
             "wall_seconds": self.wall_seconds,
+            "avedis": self.avedis,
+            "baseline_avedis": self.baseline_avedis,
+            "avedis_drift": self.avedis_drift,
+            "fragmentation": self.fragmentation,
+            "fragmentation_tracked": self.fragmentation_tracked,
+            "baseline_fragmentation": self.baseline_fragmentation,
+            "repack_reason": self.repack_reason,
+            "repacks_total": self.repacks_total,
+            "batches_since_repack": self.batches_since_repack,
         }
 
 

@@ -158,8 +158,14 @@ def incremental_summary(stats) -> str:
         f" {stats.dirty_direct} direct + {stats.dirty_overlap} overlap) "
         f"reused={stats.reused_cells} "
         f"rows_touched={stats.rows_touched} "
+        f"AveDis={stats.avedis:.4f}"
+        f" (drift {stats.avedis_drift * 100.0:+.1f}%) "
         f"wall={stats.wall_seconds:.3f}s"
     )
+    if stats.fragmentation_tracked:
+        line += f" frag={stats.fragmentation:.3f}"
+    if stats.repack_reason:
+        line += f" repack={stats.repack_reason} (total {stats.repacks_total})"
     if stats.mode == "full":
         line += f" (dirty fraction exceeded threshold {stats.full_threshold:.2f})"
     return line

@@ -1,0 +1,158 @@
+"""Fast tests of the long-stream ECO soak path (displacement-bounded mode).
+
+The full soak (hundreds of batches on a dense design) lives in
+``benchmarks/test_bench_eco.py``; this file keeps a ~50-batch seeded
+miniature in the tier-1 suite so the quality governor's invariants —
+bounded drift, monotone repack counters, backend independence — cannot
+rot between weekly benchmark runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import DesignSpec, EcoSpec, generate_design, generate_eco_stream
+from repro.experiments.eco_soak import run_eco_soak, soak_layout
+from repro.incremental import IncrementalLegalizer
+from repro.kernels import available_backends
+from repro.legality.checker import LegalityChecker
+from repro.mgl.legalizer import MGLLegalizer
+
+SOAK_BATCHES = 50
+SOAK_CHURN = 0.05
+DRIFT_BUDGET = 0.05
+
+
+def soaked_design(seed=41, num_cells=60):
+    spec = DesignSpec(
+        name=f"soak{seed}",
+        num_cells=num_cells,
+        density=0.55,
+        seed=seed,
+        height_mix={1: 0.7, 2: 0.18, 3: 0.08, 4: 0.04},
+    )
+    layout = generate_design(spec)
+    assert MGLLegalizer(backend="python").legalize(layout).success
+    return layout
+
+
+def run_governed_stream(layout, stream, backend):
+    engine = IncrementalLegalizer(
+        backend=backend,
+        full_threshold=0.5,
+        max_avedis_drift=DRIFT_BUDGET,
+        repack_every=20,
+        track_fragmentation=True,
+    )
+    engine.begin(layout)
+    results = engine.replay(stream)
+    return engine, results
+
+
+class TestSoakInvariants:
+    @pytest.fixture(scope="class")
+    def soak(self):
+        layout = soaked_design()
+        stream = generate_eco_stream(
+            layout, EcoSpec(churn=SOAK_CHURN, batches=SOAK_BATCHES, seed=7)
+        )
+        engine, results = run_governed_stream(layout, stream, "python")
+        return layout, stream, engine, results
+
+    def test_stream_stays_legal(self, soak):
+        layout, _stream, _engine, results = soak
+        assert all(r.success for r in results)
+        assert LegalityChecker().check(layout).legal
+
+    def test_drift_bounded_every_batch(self, soak):
+        """The governor's contract: no recorded batch ends above the
+        baseline by more than the budget (a breach triggers the repack
+        that restores it before the call returns)."""
+        _layout, _stream, engine, _results = soak
+        assert len(engine.history) == SOAK_BATCHES
+        for stats in engine.history:
+            assert stats.avedis <= (
+                stats.baseline_avedis * (1.0 + DRIFT_BUDGET) + 1e-9
+            ), f"batch drifted beyond budget: {stats.as_dict()}"
+
+    def test_repack_counter_monotone_and_scheduled(self, soak):
+        _layout, _stream, engine, _results = soak
+        counts = [s.repacks_total for s in engine.history]
+        assert counts == sorted(counts)
+        assert engine.repacks_total == counts[-1]
+        # The 20-batch schedule alone guarantees at least two repacks.
+        assert engine.repacks_total >= 2
+        scheduled = [s for s in engine.history if s.repack_reason == "scheduled"]
+        assert scheduled, "scheduled repack never fired in 50 batches"
+        for stats in engine.history:
+            if stats.repack_reason:
+                assert stats.mode == "repack"
+                assert stats.batches_since_repack == 0
+
+    def test_fragmentation_recorded(self, soak):
+        _layout, _stream, engine, _results = soak
+        assert all(0.0 <= s.fragmentation <= 1.0 for s in engine.history)
+
+    def test_backends_agree_bit_for_bit(self, soak):
+        """The identical governed stream must end in the identical layout
+        on every registered backend (repack decisions included)."""
+        ref_layout, stream, ref_engine, _results = soak
+
+        def state(layout):
+            return [
+                (c.name, c.x, c.y, c.width, c.height, c.fixed, c.legalized)
+                for c in layout.cells
+            ]
+
+        for backend in available_backends():
+            layout = soaked_design()
+            engine, results = run_governed_stream(layout, stream, backend)
+            assert all(r.success for r in results), backend
+            assert state(layout) == state(ref_layout), backend
+            assert engine.repacks_total == ref_engine.repacks_total, backend
+            assert [s.mode for s in engine.history] == [
+                s.mode for s in ref_engine.history
+            ], backend
+
+
+class TestSoakHarness:
+    def test_run_eco_soak_payload_shape(self):
+        result = run_eco_soak(
+            num_cells=60,
+            batches=8,
+            churn=0.05,
+            backend="python",
+            seed=3,
+            eco_seed=11,
+            max_avedis_drift=DRIFT_BUDGET,
+            repack_every=4,
+        )
+        payload = result.extras["payload"]
+        assert len(payload["trajectory"]) == 8
+        final = payload["final"]
+        for key in (
+            "avedis_incremental",
+            "avedis_full",
+            "drift_vs_full",
+            "repacks",
+            "speedup_estimate",
+            "failed_batches",
+        ):
+            assert key in final
+        assert final["repacks"] >= 2  # scheduled every 4 batches
+        assert final["failed_batches"] == 0
+        # The rendered table ends with the drift-vs-full note.
+        assert "drift" in result.format()
+
+    def test_soak_layout_mutates_in_place_and_stays_legal(self):
+        layout = soaked_design(seed=43)
+        payload = soak_layout(
+            layout,
+            batches=6,
+            churn=0.05,
+            backend="python",
+            eco_seed=2,
+            max_avedis_drift=DRIFT_BUDGET,
+        )
+        assert LegalityChecker().check(layout).legal
+        assert payload["final"]["failed_batches"] == 0

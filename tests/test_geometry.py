@@ -418,3 +418,114 @@ class TestWindowAndRegion:
         c = LocalRegion(window=Window(12, 20, 0, 4), target=t)
         assert a.overlaps_window(b)
         assert not a.overlaps_window(c)
+
+
+# ----------------------------------------------------------------------
+# Free-space summary consistency under arbitrary mutation sequences
+# ----------------------------------------------------------------------
+class TestSummaryInvalidation:
+    """The lazily cached per-row free-space summary must always agree
+    with a from-scratch rebuild, no matter which incremental mutation
+    hooks ran in which order — in particular, mutations that change a
+    cell's row span (relocate/resize) must invalidate the *union* of the
+    old and new spans, not just one of them."""
+
+    ROWS, SITES = 6, 40
+
+    @staticmethod
+    def all_summaries(layout):
+        return [layout._row_summary(r) for r in range(layout.num_rows)]
+
+    def assert_summary_matches_rebuild(self, layout):
+        cached = self.all_summaries(layout)
+        rebuilt = layout.copy()  # copy() re-derives index + summary from cells
+        assert cached == self.all_summaries(rebuilt)
+        for row in range(layout.num_rows):
+            assert layout._row_index[row] == rebuilt._row_index[row], f"row {row}"
+
+    def build(self, specs):
+        layout = Layout(self.ROWS, self.SITES)
+        for i, (x, y, w, h, fixed) in enumerate(specs):
+            layout.add_cell(Cell(
+                index=i, width=w, height=h, gp_x=x, gp_y=y, x=x, y=y,
+                fixed=fixed, legalized=not fixed,
+            ))
+        return layout
+
+    @given(
+        data=st.data(),
+        n_cells=st.integers(2, 6),
+        n_ops=st.integers(1, 12),
+    )
+    def test_summary_matches_rebuild_after_mutations(self, data, n_cells, n_ops):
+        specs = [
+            (
+                float(data.draw(st.integers(0, self.SITES - 6))),
+                float(data.draw(st.integers(0, self.ROWS - 3))),
+                float(data.draw(st.sampled_from([1.0, 2.0, 4.0]))),
+                data.draw(st.sampled_from([1, 1, 2, 3])),
+                data.draw(st.booleans()),
+            )
+            for _ in range(n_cells)
+        ]
+        layout = self.build(specs)
+        # Warm every row's summary cache so stale entries would survive a
+        # missing invalidation.
+        self.all_summaries(layout)
+        for _ in range(n_ops):
+            cell = layout.cells[data.draw(st.integers(0, n_cells - 1))]
+            op = data.draw(st.sampled_from(
+                ["resize", "relocate", "unlegalize", "toggle_fixed",
+                 "retire", "mark", "move_obstacle"]
+            ))
+            if layout.is_retired(cell):
+                continue
+            x = float(data.draw(st.integers(0, self.SITES - 8)))
+            y = float(data.draw(st.integers(0, self.ROWS - 3)))
+            try:
+                if op == "resize":
+                    layout.resize_cell(
+                        cell,
+                        width=float(data.draw(st.sampled_from([1.0, 3.0, 6.0]))),
+                        height=data.draw(st.sampled_from([1, 2, 3])),
+                    )
+                elif op == "relocate" and cell.fixed:
+                    layout.relocate_fixed(cell, x, y)
+                elif op == "unlegalize" and not cell.fixed:
+                    layout.unlegalize_cell(cell)
+                elif op == "toggle_fixed":
+                    layout.set_cell_fixed(cell, not cell.fixed)
+                elif op == "retire":
+                    layout.retire_cell(cell)
+                elif op == "mark" and not cell.fixed:
+                    layout.mark_legalized(cell, x, y)
+                elif op == "move_obstacle" and cell.legalized and not cell.fixed:
+                    layout.move_obstacle(cell, x)
+            except ValueError:
+                continue  # rejected mutations must leave state consistent
+            # Mix of warm and cold cache entries between mutations.
+            self.all_summaries(layout)
+            self.assert_summary_matches_rebuild(layout)
+
+    def test_relocate_invalidates_union_of_old_and_new_spans(self):
+        layout = self.build([(2.0, 0.0, 4.0, 2, True)])
+        # Warm rows 0..5.
+        warm = [layout.row_free_capacity(r, 0.0, self.SITES) for r in range(self.ROWS)]
+        assert warm[0] == self.SITES - 4.0 and warm[4] == self.SITES
+        layout.relocate_fixed(layout.cells[0], 10.0, 4.0)
+        # Old rows (0,1) freed, new rows (4,5) occupied — both must see it.
+        fresh = [layout.row_free_capacity(r, 0.0, self.SITES) for r in range(self.ROWS)]
+        assert fresh[0] == self.SITES and fresh[1] == self.SITES
+        assert fresh[4] == self.SITES - 4.0 and fresh[5] == self.SITES - 4.0
+
+    def test_fragmentation_metric(self):
+        layout = Layout(1, 20)
+        assert layout.free_space_fragmentation(min_gap=4.0) == 0.0  # one big gap
+        # Obstacles at 4..6 and 10..12: gaps of 4, 4 and 8 sites.
+        for i, x in enumerate((4.0, 10.0)):
+            layout.add_cell(Cell(index=i, width=2.0, height=1, gp_x=x, gp_y=0,
+                                 x=x, y=0, fixed=True))
+        assert layout.free_space_fragmentation(min_gap=4.0) == 0.0
+        frag = layout.free_space_fragmentation(min_gap=5.0)
+        assert frag == pytest.approx(8.0 / 16.0)  # the two 4-wide gaps trapped
+        assert layout.free_space_fragmentation(min_gap=100.0) == 1.0

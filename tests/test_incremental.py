@@ -230,12 +230,110 @@ class TestApplyDeltas:
 
 
 # ----------------------------------------------------------------------
+# Degenerate delta geometry (cells that cannot fit, boundary snapping)
+# ----------------------------------------------------------------------
+class TestDegenerateGeometry:
+    def test_insert_wider_than_chip_raises_atomically(self):
+        layout = make_layout(cells=[(0, 0, 4, 1)])
+        before = [(c.x, c.y, c.width) for c in layout.cells]
+        with pytest.raises(ValueError, match="does not fit"):
+            apply_deltas(layout, [
+                MoveCell(0, 5.0, 0.0),
+                InsertCell(width=layout.width + 1.0, height=1, gp_x=0.0, gp_y=0.0),
+            ])
+        assert [(c.x, c.y, c.width) for c in layout.cells] == before
+
+    def test_insert_taller_than_chip_raises(self):
+        layout = make_layout(cells=[(0, 0, 4, 1)])
+        with pytest.raises(ValueError, match="does not fit"):
+            apply_deltas(layout, [
+                InsertCell(width=2.0, height=layout.num_rows + 1, gp_x=0.0, gp_y=0.0)
+            ])
+
+    def test_resize_beyond_chip_raises_atomically(self):
+        layout = make_layout(cells=[(0, 0, 4, 1), (10, 0, 4, 1)])
+        before = [(c.x, c.y, c.width) for c in layout.cells]
+        with pytest.raises(ValueError, match="does not fit"):
+            apply_deltas(layout, [
+                MoveCell(1, 20.0, 0.0),
+                ResizeCell(0, width=layout.width * 2),
+            ])
+        assert [(c.x, c.y, c.width) for c in layout.cells] == before
+
+    def test_move_of_oversized_base_cell_raises_in_validation(self):
+        """A malformed base layout (cell wider than the chip) must be
+        rejected up front by validate_deltas, not mid-application."""
+        layout = make_layout(cells=[(0, 0, 4, 1)])
+        layout.cells[0].width = layout.width + 5.0  # malformed import
+        with pytest.raises(ValueError, match="does not fit"):
+            apply_deltas(layout, [MoveCell(0, 3.0, 0.0)])
+
+    def test_negative_origin_clamps_to_chip(self):
+        layout = make_layout(cells=[(10, 2, 4, 1)])
+        apply_deltas(layout, [MoveCell(0, -40.0, -9.0)])
+        cell = layout.cells[0]
+        assert (cell.gp_x, cell.gp_y) == (0.0, 0.0)
+
+    def test_fractional_width_macro_snaps_on_grid_at_boundary(self):
+        """Clipping a fixed cell at the right/top chip edge must keep it
+        on the placement grid (the raw bound chip_width - width is
+        off-grid for fractional widths)."""
+        layout = make_layout(cells=[(0, 0, 4, 1)])
+        apply_deltas(layout, [
+            InsertCell(width=4.5, height=2, gp_x=1e9, gp_y=1e9, fixed=True)
+        ])
+        macro = layout.cells[1]
+        assert macro.x == int(macro.x), "macro clipped off-grid"
+        assert macro.right <= layout.width
+        assert macro.y == layout.num_rows - macro.height
+        assert_index_consistent(layout)
+
+    def test_exact_fit_cell_is_allowed(self):
+        layout = make_layout(num_rows=4, num_sites=20, cells=[])
+        apply_deltas(layout, [
+            InsertCell(width=20.0, height=4, gp_x=3.0, gp_y=1.0, fixed=True)
+        ])
+        macro = layout.cells[0]
+        assert (macro.x, macro.y) == (0.0, 0.0)
+
+    def test_freeze_of_oversized_base_cell_raises_atomically(self):
+        """SetFixed(True) snaps the cell, which rejects oversize dims —
+        validation must catch it up front so the batch stays atomic."""
+        layout = make_layout(cells=[(0, 0, 4, 1), (10, 0, 4, 1)])
+        layout.cells[0].width = layout.width + 5.0  # malformed import
+        layout.unlegalize_cell(layout.cells[0])
+        before = [(c.x, c.y, c.width, c.fixed) for c in layout.cells]
+        with pytest.raises(ValueError, match="does not fit"):
+            apply_deltas(layout, [MoveCell(1, 20.0, 0.0), SetFixed(0, True)])
+        assert [(c.x, c.y, c.width, c.fixed) for c in layout.cells] == before
+
+    def test_fragmentation_ignores_tombstones(self):
+        """A deleted cell's zero-width tombstone stays in the row index
+        but must not split a contiguous free gap into phantom slivers."""
+        layout = make_layout(num_rows=1, num_sites=20, cells=[(10, 0, 2, 1)])
+        assert layout.free_space_fragmentation(min_gap=12.0) == 1.0  # 10+8 split
+        layout.retire_cell(layout.cells[0])
+        assert layout.free_space_fragmentation(min_gap=12.0) == 0.0  # one 20 gap
+
+    def test_freeing_a_tombstone_raises(self):
+        """Layout.set_cell_fixed(False) on a retired cell would mint an
+        invalid zero-width movable cell (and break Layout.copy())."""
+        layout = make_layout(cells=[(0, 0, 4, 1)])
+        layout.retire_cell(layout.cells[0])
+        with pytest.raises(ValueError, match="zero width"):
+            layout.set_cell_fixed(layout.cells[0], False)
+        layout.copy()  # still copyable
+
+
+# ----------------------------------------------------------------------
 # Engine behaviour
 # ----------------------------------------------------------------------
 class TestIncrementalLegalizer:
     def test_apply_before_begin_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match=r"before begin\(\)"):
             IncrementalLegalizer().apply([])
+        with pytest.raises(RuntimeError, match=r"before begin\(\)"):
+            IncrementalLegalizer().apply([MoveCell(0, 1.0, 1.0)])
 
     def test_begin_legalizes_pending_layout(self):
         layout = small_design(num_cells=40, seed=3)
@@ -252,8 +350,30 @@ class TestIncrementalLegalizer:
         engine.begin(layout)
         result = engine.apply([])
         assert result.success and result.stats.dirty_total == 0
-        assert result.stats.mode == "incremental"
+        assert result.stats.mode == "noop"
+        assert not result.trace.targets  # no subset machinery ran
+        assert result.stats.reused_cells == result.stats.num_movable > 0
         assert cell_state(layout) == before
+        # The no-op is recorded but must not advance the repack schedule.
+        assert engine.batches_since_repack == 0
+        assert len(engine.history) == 1
+
+    def test_empty_batch_noop_with_zero_threshold(self):
+        """full_threshold=0.0 means "full on any dirt" — an empty batch
+        has no dirt, so it must stay a no-op, not a full re-run."""
+        layout = legal_design(num_cells=40, seed=5)
+        engine = IncrementalLegalizer(backend="python", full_threshold=0.0)
+        engine.begin(layout)
+        result = engine.apply([])
+        assert result.stats.mode == "noop"
+
+    def test_zero_threshold_forces_full_on_any_dirt(self):
+        layout = legal_design(num_cells=40, seed=13)
+        engine = IncrementalLegalizer(backend="python", full_threshold=0.0)
+        engine.begin(layout)
+        result = engine.apply([MoveCell(1, 6.0, 1.0)])
+        assert result.stats.mode == "full"
+        assert result.stats.dirty_total == 1
 
     def test_incremental_keeps_clean_cells_untouched(self):
         layout = legal_design(num_cells=60, seed=7)
@@ -303,6 +423,141 @@ class TestIncrementalLegalizer:
         assert "mode=incremental" in line
         assert "dirty=1/" in line
         assert "reused=" in line
+        assert "AveDis=" in line and "drift" in line
+
+
+# ----------------------------------------------------------------------
+# Displacement-bounded (quality-governed) mode
+# ----------------------------------------------------------------------
+class TestDisplacementBudget:
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="max_avedis_drift"):
+            IncrementalLegalizer(max_avedis_drift=-0.1)
+        with pytest.raises(ValueError, match="repack_every"):
+            IncrementalLegalizer(repack_every=0)
+        with pytest.raises(ValueError, match="max_fragmentation_drift"):
+            IncrementalLegalizer(max_fragmentation_drift=-0.5)
+        # A fragmentation budget without tracking would freeze the
+        # baseline at 0.0 and repack every batch past the absolute cap.
+        with pytest.raises(ValueError, match="requires fragmentation tracking"):
+            IncrementalLegalizer(
+                max_fragmentation_drift=0.1, track_fragmentation=False
+            )
+        engine = IncrementalLegalizer(max_fragmentation_drift=0.1)
+        assert engine.track_fragmentation
+
+    def test_begin_snapshots_baseline(self):
+        layout = legal_design(num_cells=40, seed=11)
+        engine = IncrementalLegalizer(backend="python", max_avedis_drift=0.05)
+        engine.begin(layout)
+        assert engine._baseline_avedis >= 0.0
+        assert engine.batches_since_repack == 0
+        assert engine.repacks_total == 0
+
+    def test_scheduled_repack_fires_every_n_batches(self):
+        layout = legal_design(num_cells=50, seed=11)
+        engine = IncrementalLegalizer(
+            backend="python", full_threshold=1.0, repack_every=2
+        )
+        engine.begin(layout)
+        modes = []
+        for i in range(6):
+            result = engine.apply([MoveCell(i, 5.0 + i, 1.0)])
+            modes.append((result.stats.mode, result.stats.repack_reason))
+        assert modes == [
+            ("incremental", ""),
+            ("repack", "scheduled"),
+        ] * 3
+        assert engine.repacks_total == 3
+
+    def test_zero_drift_budget_forces_repack_on_any_worsening(self):
+        """With a 0.0 budget, any AveDis above the baseline repacks; the
+        repacked layout equals apply + reset + full legalize."""
+        layout = legal_design(num_cells=50, seed=9)
+        twin = layout.copy()
+        engine = IncrementalLegalizer(
+            backend="python", full_threshold=1.0, max_avedis_drift=0.0
+        )
+        engine.begin(layout)
+        batch = [MoveCell(2, 40.0, 5.0), MoveCell(7, 1.0, 0.0)]
+        result = engine.apply(batch)
+        if result.stats.repack_reason:  # drift is design-dependent
+            assert result.stats.mode == "repack"
+            assert engine.repacks_total == 1
+            apply_deltas(twin, list(batch))
+            twin.rebuild_index()
+            twin.reset_positions()
+            MGLLegalizer(backend="python").legalize(twin)
+            assert cell_state(layout) == cell_state(twin)
+            # Baseline refreshed from the repacked layout.
+            assert engine._baseline_avedis == result.stats.avedis
+            assert engine.batches_since_repack == 0
+
+    def test_repack_counters_monotone_over_stream(self):
+        layout = legal_design(num_cells=60, seed=7)
+        engine = IncrementalLegalizer(
+            backend="python",
+            full_threshold=1.0,
+            max_avedis_drift=0.02,
+            repack_every=5,
+            track_fragmentation=True,
+        )
+        engine.begin(layout)
+        stream = generate_eco_stream(layout, EcoSpec(churn=0.08, batches=12, seed=3))
+        for batch in stream:
+            engine.apply(batch)
+        repack_counts = [s.repacks_total for s in engine.history]
+        assert repack_counts == sorted(repack_counts)
+        assert engine.repacks_total == repack_counts[-1] > 0
+        for stats in engine.history:
+            assert 0.0 <= stats.fragmentation <= 1.0
+            assert stats.avedis >= 0.0
+        # as_dict carries the new counters for JSON reports.
+        payload = engine.history[-1].as_dict()
+        for key in ("avedis", "avedis_drift", "fragmentation",
+                    "repack_reason", "repacks_total"):
+            assert key in payload
+
+    def test_budgets_disabled_matches_reference_exactly(self):
+        """Without budgets the governed engine is the plain engine: the
+        exactness contract vs reference_relegalize must still hold."""
+        layout = legal_design(num_cells=50, seed=19)
+        base = layout.copy()
+        stream = generate_eco_stream(layout, EcoSpec(churn=0.1, batches=3, seed=8))
+        engine = IncrementalLegalizer(
+            backend="python", full_threshold=1.0, track_fragmentation=True
+        )
+        engine.begin(layout)
+        engine.replay(stream)
+        reference = reference_relegalize(base, stream, backend="python")
+        assert cell_state(layout) == cell_state(reference)
+        assert engine.repacks_total == 0
+
+    def test_governed_stream_is_backend_independent(self):
+        """Repack decisions derive from placements, which are bit-for-bit
+        across backends — so governed streams end identically too."""
+        stream_spec = EcoSpec(churn=0.1, batches=4, seed=31)
+        ref_layout = legal_design(num_cells=60, seed=19)
+        stream = generate_eco_stream(ref_layout, stream_spec)
+
+        def run(backend):
+            layout = legal_design(num_cells=60, seed=19)
+            engine = IncrementalLegalizer(
+                backend=backend,
+                full_threshold=1.0,
+                max_avedis_drift=0.01,
+                repack_every=3,
+            )
+            engine.begin(layout)
+            engine.replay(stream)
+            return layout, engine
+
+        ref, ref_engine = run("python")
+        assert ref_engine.repacks_total > 0  # the governor actually fired
+        for backend in available_backends():
+            got, got_engine = run(backend)
+            assert cell_state(got) == cell_state(ref), backend
+            assert got_engine.repacks_total == ref_engine.repacks_total
 
 
 # ----------------------------------------------------------------------
@@ -584,3 +839,93 @@ class TestCli:
         out = capsys.readouterr().out
         assert "mode=incremental" in out
         assert final.exists()
+
+    def test_eco_soak_mode(self, tmp_path, capsys):
+        from repro.designio import save_layout_json
+
+        design = tmp_path / "d.json"
+        soak_json = tmp_path / "soak.json"
+        save_layout_json(small_design(num_cells=60, seed=12), design)
+        assert self.run_main(
+            "eco", str(design), "--soak", "--soak-batches", "6",
+            "--churn", "0.05", "--backend", "python",
+            "--max-drift", "0.05", "--repack-every", "3",
+            "--soak-json", str(soak_json),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "drift" in out and "repack" in out
+        import json as _json
+
+        payload = _json.loads(soak_json.read_text())
+        assert len(payload["trajectory"]) == 6
+        assert "drift_vs_full" in payload["final"]
+
+    # ------------------------------------------------------------------
+    # Error paths: exit 2, one-line file:line-style messages, no traceback
+    # ------------------------------------------------------------------
+    def test_missing_design_file_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert self.run_main("legalize", str(missing)) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one line, no traceback
+        assert str(missing) in err and "No such file" in err
+
+    def test_corrupt_design_json_exits_2_with_position(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"num_rows": 4,\n  "oops')
+        assert self.run_main("legalize", str(bad)) == 2
+        err = capsys.readouterr().err
+        assert f"{bad}:2:" in err  # file:line:col of the JSON error
+        assert "invalid JSON" in err
+
+    def test_wrong_shape_design_exits_2(self, tmp_path, capsys):
+        shape = tmp_path / "shape.json"
+        shape.write_text('{"cells": 5}')
+        assert self.run_main("legalize", str(shape)) == 2
+        err = capsys.readouterr().err
+        assert str(shape) in err and "malformed design file" in err
+
+    def test_missing_deltas_file_exits_2(self, tmp_path, capsys):
+        from repro.designio import save_layout_json
+
+        design = tmp_path / "d.json"
+        save_layout_json(small_design(num_cells=40, seed=2), design)
+        assert self.run_main("eco", str(design), str(tmp_path / "none.json")) == 2
+        err = capsys.readouterr().err
+        assert "No such file" in err
+
+    def test_corrupt_deltas_exits_2_with_file_context(self, tmp_path, capsys):
+        from repro.designio import save_layout_json
+
+        design = tmp_path / "d.json"
+        deltas = tmp_path / "deltas.json"
+        save_layout_json(small_design(num_cells=40, seed=2), design)
+        deltas.write_text('[[{"op": "teleport", "index": 1}]]')
+        assert self.run_main("eco", str(design), str(deltas)) == 2
+        err = capsys.readouterr().err
+        assert str(deltas) in err and "unknown delta op" in err
+
+    def test_eco_without_deltas_or_soak_exits_2(self, tmp_path, capsys):
+        from repro.designio import save_layout_json
+
+        design = tmp_path / "d.json"
+        save_layout_json(small_design(num_cells=40, seed=2), design)
+        assert self.run_main("eco", str(design)) == 2
+        assert "DELTAS" in capsys.readouterr().err
+
+    def test_oversized_delta_reported_as_user_error(self, tmp_path, capsys):
+        from repro.designio import save_layout_json
+        from repro.incremental import InsertCell, save_delta_stream
+
+        design = tmp_path / "d.json"
+        deltas = tmp_path / "deltas.json"
+        layout = small_design(num_cells=40, seed=2)
+        save_layout_json(layout, design)
+        save_delta_stream(
+            [[InsertCell(width=layout.width * 2, height=1, gp_x=0.0, gp_y=0.0)]],
+            deltas,
+        )
+        assert self.run_main(
+            "eco", str(design), str(deltas), "--backend", "python"
+        ) == 2
+        assert "does not fit" in capsys.readouterr().err

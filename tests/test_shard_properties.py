@@ -275,3 +275,124 @@ def test_escaped_expansion_triggers_sequential_rerun():
     trapped_work = next(t for t in result.trace.targets if t.cell_index == trapped)
     assert trapped_work.window_retries > 0 or trapped_work.fallback_used
     assert_identical((ref_layout, ref), (layout, result))
+
+
+# ----------------------------------------------------------------------
+# ECO-aware shard planning: dirty-cluster seeding
+# ----------------------------------------------------------------------
+class TestClusterSeeding:
+    def test_cluster_targets_groups_by_proximity(self):
+        from repro.core.task_assignment import cluster_targets
+        from repro.testing import make_layout
+
+        # Two well-separated clumps plus one isolated cell.
+        layout = make_layout(num_rows=12, num_sites=200, cells=[
+            (5, 1, 4, 1), (11, 1, 4, 1),       # clump A (gap 2 < 2*radius)
+            (150, 9, 4, 1), (158, 9, 4, 1),    # clump B
+            (80, 5, 4, 1),                     # isolated
+        ])
+        clusters = cluster_targets(
+            layout, layout.cells, x_radius=6.0, row_radius=1
+        )
+        assert clusters == [[0, 1], [2, 3], [4]]
+
+    def test_cluster_targets_deterministic_order(self):
+        from repro.core.task_assignment import cluster_targets
+        from repro.testing import make_layout
+
+        layout = make_layout(num_rows=8, num_sites=100, cells=[
+            (90, 6, 3, 1), (4, 0, 3, 1), (8, 0, 3, 1),
+        ])
+        # Ordered by first member in the given target order.
+        assert cluster_targets(layout, layout.cells, x_radius=5.0, row_radius=1) \
+            == [[0], [1, 2]]
+
+    def test_seeded_plan_keeps_clusters_on_one_worker(self):
+        from repro.core.task_assignment import cluster_targets
+
+        layout = build_design(80, 0.4, seed=5)
+        premove(layout)
+        layout.rebuild_index()
+        ordered = size_descending_order(layout, layout.unlegalized_cells())
+        clusters = cluster_targets(layout, ordered, x_radius=10.0, row_radius=2)
+        plan = plan_shards(layout, ordered, 4, cluster_seeds=clusters)
+        assert plan.n_seed_clusters == len(clusters)
+        assert plan.stats()["n_seed_clusters"] == len(clusters)
+        worker_of = plan.worker_of
+        for cluster in clusters:
+            owners = {worker_of[i] for i in cluster if i in worker_of}
+            assert len(owners) <= 1, f"cluster split across workers: {cluster}"
+        # Seeding still partitions every target exactly once, in order.
+        assigned = [i for shard in plan.shards for i in shard]
+        assert sorted(assigned) == sorted(c.index for c in ordered)
+        rank = {cell.index: pos for pos, cell in enumerate(ordered)}
+        for shard in plan.shards:
+            ranks = [rank[i] for i in shard]
+            assert ranks == sorted(ranks)
+
+    def test_seeding_only_coarsens_components(self):
+        from repro.core.task_assignment import cluster_targets
+
+        layout = build_design(70, 0.45, seed=9)
+        premove(layout)
+        layout.rebuild_index()
+        ordered = size_descending_order(layout, layout.unlegalized_cells())
+        plain = plan_shards(layout, ordered, 4)
+        clusters = cluster_targets(layout, ordered, x_radius=10.0, row_radius=2)
+        seeded = plan_shards(layout, ordered, 4, cluster_seeds=clusters)
+        # Every plain component is contained in exactly one seeded group.
+        seeded_group_of = {}
+        for gid, group in enumerate(seeded.components):
+            for index in group:
+                seeded_group_of[index] = gid
+        for component in plain.components:
+            assert len({seeded_group_of[i] for i in component}) == 1
+        assert len(seeded.components) <= len(plain.components)
+
+    def test_unknown_seed_indices_ignored(self):
+        layout = build_design(40, 0.4, seed=3)
+        premove(layout)
+        layout.rebuild_index()
+        ordered = size_descending_order(layout, layout.unlegalized_cells())
+        plan = plan_shards(
+            layout, ordered, 2, cluster_seeds=[[999_999], [ordered[0].index]]
+        )
+        assigned = [i for shard in plan.shards for i in shard]
+        assert sorted(assigned) == sorted(c.index for c in ordered)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(design_strategy)
+    def test_seeded_merge_equals_sequential_property(self, params):
+        """The in-process static pipeline with cluster seeding stays
+        bit-for-bit equal to the sequential reference."""
+        from repro.incremental import IncrementalLegalizer, MoveCell
+
+        layout = build_design(params["num_cells"], params["density"], params["seed"])
+        result = legalize(layout, "python")
+        if not result.success:
+            return  # infeasible base: nothing to compare
+        # Dirty a scattered subset through the ECO engine (which threads
+        # dirty clusters into the shard planner).
+        movable = [c.index for c in layout.movable_cells()]
+        batch = [
+            MoveCell(i, (i * 7) % max(1, layout.num_sites - 8), float(i % layout.num_rows))
+            for i in movable[:: max(1, len(movable) // 12)]
+        ]
+        ref = layout.copy()
+        ref_engine = IncrementalLegalizer(backend="python", full_threshold=1.0)
+        ref_engine.begin(ref)
+        ref_engine.apply([MoveCell(d.index, d.gp_x, d.gp_y) for d in batch])
+
+        backend = MultiprocessKernelBackend(
+            workers=params["n_workers"], use_processes=False, min_parallel_targets=2
+        )
+        engine = IncrementalLegalizer(
+            MGLLegalizer(FOPConfig(shifter=SortAheadShifter()), backend=backend),
+            full_threshold=1.0,
+        )
+        engine.begin(layout)
+        engine.apply([MoveCell(d.index, d.gp_x, d.gp_y) for d in batch])
+        assert [(c.x, c.y, c.legalized) for c in layout.cells] == [
+            (c.x, c.y, c.legalized) for c in ref.cells
+        ]
