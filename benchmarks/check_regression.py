@@ -112,6 +112,57 @@ def check_eco_soak(soak_json: Path, max_drift: float, min_speedup: float) -> int
     return failures
 
 
+def check_mp_sweep(sweep_json: Path, min_speedup: float, min_cores: int = 4) -> int:
+    """Gate the multiprocess worker sweep; return failure count.
+
+    Reads the ``BENCH_mp_workers.json`` payload written by the worker-
+    sweep benchmark and fails when any multiprocess row at >= 2 workers
+    is slower than the single-worker sequential baseline by more than
+    the ``min_speedup`` floor allows (floor 1.0 = "parallel must not
+    lose").  Skipped (with a notice, not a failure) when the run was
+    recorded on fewer than ``min_cores`` cores — a 1-core container can
+    only measure overhead, not parallel speedup.
+    """
+    payload = json.loads(sweep_json.read_text(encoding="utf-8"))
+    cpu_count = int(payload.get("cpu_count", 0))
+    design = payload.get("design", "?")
+    if cpu_count < min_cores:
+        print(
+            f"mp sweep: recorded on {cpu_count} core(s) (< {min_cores}); "
+            "speedup gate skipped"
+        )
+        return 0
+    failures = 0
+    checked = 0
+    for row in payload.get("rows", []):
+        if row.get("backend") != "multiprocess" or int(row.get("workers", 0)) < 2:
+            continue
+        checked += 1
+        speedup = float(row.get("speedup", 0.0))
+        print(
+            f"mp sweep: {design} multiprocess:{row['workers']} "
+            f"{float(row.get('wall_s', 0.0)):.3f}s speedup {speedup:.2f}x "
+            f"(floor {min_speedup:.2f}x) mode={row.get('mode', '?')}"
+        )
+        if speedup < min_speedup:
+            print(
+                f"mp sweep REGRESSION: multiprocess:{row['workers']} is "
+                f"{speedup:.2f}x the sequential baseline on {design} "
+                f"(floor {min_speedup:.2f}x) — the parallel backend lost "
+                "to single-worker execution",
+                file=sys.stderr,
+            )
+            failures += 1
+    if not checked:
+        print(
+            f"mp sweep REGRESSION: no multiprocess rows with >= 2 workers "
+            f"in {sweep_json}",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("benchmark_json", type=Path, help="pytest-benchmark JSON output")
@@ -142,6 +193,18 @@ def main(argv=None) -> int:
         "--min-eco-speedup", type=float, default=3.0,
         help="minimum estimated incremental speedup of the soak (default 3.0)",
     )
+    parser.add_argument(
+        "--mp-sweep", type=Path, default=None,
+        help="also gate the multiprocess worker sweep (BENCH_mp_workers.json): "
+             "fail when any >= 2-worker multiprocess run is slower than the "
+             "sequential baseline by more than --min-mp-speedup allows "
+             "(skipped on runners with < 4 cores)",
+    )
+    parser.add_argument(
+        "--min-mp-speedup", type=float, default=1.0,
+        help="minimum multiprocess speedup over the sequential baseline "
+             "(default 1.0 = parallel must not lose)",
+    )
     args = parser.parse_args(argv)
 
     soak_failures = 0
@@ -152,6 +215,11 @@ def main(argv=None) -> int:
         soak_failures = check_eco_soak(
             args.eco_soak, args.max_eco_drift, args.min_eco_speedup
         )
+    if args.mp_sweep is not None:
+        if not args.mp_sweep.exists():
+            print(f"mp sweep payload {args.mp_sweep} missing", file=sys.stderr)
+            return 1
+        soak_failures += check_mp_sweep(args.mp_sweep, args.min_mp_speedup)
 
     current = load_means(args.benchmark_json)
     if not current:

@@ -263,7 +263,10 @@ def test_bench_mp_worker_sweep(benchmark):
     results are bit-for-bit identical, and records the wall times and
     speedups both into the pytest-benchmark ``extra_info`` (so they land
     in ``--benchmark-json`` output) and into ``BENCH_mp_workers.json``
-    in the working directory (uploaded as a CI artifact).  The >1x
+    in the working directory (uploaded as a CI artifact, and gated by
+    ``check_regression.py --mp-sweep``).  Each configuration reports the
+    best of two runs, so the multiprocess rows measure the warm
+    persistent-pool path rather than first-fork latency.  The >=1.2x
     speedup assertion is gated on the host having at least 4 cores AND
     the design being large enough (>= scale 0.008) for heavy regions to
     exist — intra-region chunking cannot beat the sequential baseline on
@@ -283,6 +286,7 @@ def test_bench_mp_worker_sweep(benchmark):
         scale=scale,
         seed=BENCH_SEED,
         worker_counts=(2, 4),
+        repeat=2,
     )
     print()
     print(result.format())
@@ -311,7 +315,10 @@ def test_bench_mp_worker_sweep(benchmark):
         json.dump(payload, handle, indent=1)
     if (os.cpu_count() or 1) >= 4 and scale >= 0.008:
         best = max(row[3] for row in mp_rows if row[1] >= 4)
-        assert best > 1.0, f"expected >1x at 4+ workers on a {os.cpu_count()}-core host"
+        assert best >= 1.2, (
+            f"expected >=1.2x at 4+ workers on a {os.cpu_count()}-core host "
+            f"(warm persistent pool, best of 2 runs); got {best:.2f}x"
+        )
 
 
 def test_bench_orderings(benchmark):

@@ -76,6 +76,7 @@ def run_worker_scalability(
     seed: Optional[int] = None,
     worker_counts: Sequence[int] = (1, 2, 4, 8),
     baseline_backend: str = "numpy",
+    repeat: int = 1,
 ) -> ExperimentResult:
     """Measured wall-clock sweep of the ``multiprocess`` backend's workers.
 
@@ -86,6 +87,13 @@ def run_worker_scalability(
     worker count.  Every run is bit-for-bit identical — the sweep only
     changes how long it takes — which the rows assert by comparing the
     average displacement.
+
+    ``repeat`` runs each configuration that many times and reports the
+    fastest run.  The multiprocess backend keeps its worker pool (and
+    the shared-memory cell store) alive between repeats, so with
+    ``repeat >= 2`` the reported number is the steady-state warm-pool
+    cost — what an ECO stream actually pays — rather than the one-off
+    fork latency of the first run.
     """
     from repro.benchgen import iccad2017_design
     from repro.kernels import MultiprocessKernelBackend, available_backends
@@ -95,6 +103,7 @@ def run_worker_scalability(
 
     if baseline_backend not in available_backends():  # pragma: no cover
         baseline_backend = "python"
+    repeat = max(1, int(repeat))
 
     def run_once(backend):
         layout = iccad2017_design(name, scale=scale, seed=seed)
@@ -106,7 +115,14 @@ def run_worker_scalability(
         result = legalizer.legalize(layout)
         return result, time.perf_counter() - start
 
-    baseline, baseline_s = run_once(baseline_backend)
+    def run_best(backend):
+        result, best_s = run_once(backend)
+        for _ in range(repeat - 1):
+            result, seconds = run_once(backend)
+            best_s = min(best_s, seconds)
+        return result, best_s
+
+    baseline, baseline_s = run_best(baseline_backend)
     rows = [
         [
             baseline_backend,
@@ -122,7 +138,7 @@ def run_worker_scalability(
     for workers in worker_counts:
         backend = MultiprocessKernelBackend(workers=workers)
         try:
-            result, seconds = run_once(backend)
+            result, seconds = run_best(backend)
         finally:
             # Release the persistent worker pool before timing the next
             # row — idle forked workers would contaminate the sweep.
@@ -160,6 +176,8 @@ def run_worker_scalability(
         rows=rows,
         notes=[
             "all rows are bit-for-bit identical placements; only wall time varies",
+            f"wall_s is the best of {repeat} run(s); repeats >= 2 reuse the "
+            "persistent worker pool (warm shared-memory path)",
             "speculation rejects show where dense designs serialise the wavefront",
             "retry0_% / retries report the occupancy-aware window planner's "
             "feasibility counters (identical across rows, like AveDis)",

@@ -573,6 +573,28 @@ class IncrementalLegalizer:
         return result
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release resources held by the underlying legalizer.
+
+        ECO engines are long-lived by design, which is exactly how a
+        persistent multiprocess worker pool outlives its usefulness —
+        soak drivers should ``close()`` (or use the engine as a context
+        manager) when the stream ends.  Safe on custom legalizer objects
+        without a ``close`` method, idempotent, and non-terminal: the
+        next batch recreates whatever the backend needs.
+        """
+        closer = getattr(self.legalizer, "close", None)
+        if callable(closer):
+            closer()
+
+    def __enter__(self) -> "IncrementalLegalizer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
     def _fragmentation(self) -> float:
         assert self.layout is not None
         return self.layout.free_space_fragmentation(self.fragmentation_min_gap)

@@ -14,18 +14,18 @@ windows are grouped into connected components by rectangle overlap and
 packed onto worker processes
 (:func:`repro.core.task_assignment.plan_shards`).  Each worker runs the
 plain sequential legalizer — restricted to its shard's targets, in the
-*global* processing order — on a copy-on-write fork of the layout; the
-parent merges placements and work records back in global order.
-Cross-worker window disjointness makes the merge provably exact.  The
-one hazard is window *expansion* (a retry grows the window, possibly
-into another worker's territory): workers record every target's final
-window, the parent validates them with
+*global* processing order — on its mirror of the layout; the parent
+merges placements and work records back in global order.  Cross-worker
+window disjointness makes the merge provably exact.  The one hazard is
+window *expansion* (a retry grows the window, possibly into another
+worker's territory): workers record every target's final window, the
+parent validates them with
 :func:`repro.core.task_assignment.find_escaped_conflicts`, and on any
 cross-worker escape it discards the parallel results and re-runs
 sequentially on the untouched parent layout.
 
 **Speculative wavefront** (dense designs, where every window overlaps
-transitively into one component).  Persistent workers evaluate targets
+transitively into one component).  Workers evaluate targets
 optimistically against the committed prefix of the run; the coordinator
 commits results strictly in global processing order and validates each
 result against the commits that landed after its dispatch: if any such
@@ -36,10 +36,24 @@ frontier.  Accepted results are therefore always computed on exactly
 the layout state the sequential interleaving would have shown, work
 counters included; speculation only ever costs time, never exactness.
 
-**When sharding loses.**  Process forking, per-target round-trips and
-result pickling cost real time, so small designs — or heavily contended
-dense designs where most speculations get rejected — are faster on the
-plain ``numpy`` backend; :attr:`MultiprocessKernelBackend
+**Execution substrate: one persistent pool, zero-copy state.**  All
+three engines (static shards, wavefront targets, intra-region point
+chunks) run on a single pool of worker processes that lives for the
+backend's lifetime: forked lazily on first use, reused across
+``legalize`` / ``legalize_subset`` calls (critical for ECO streams,
+which previously paid a fork + full-layout pickle per batch), and torn
+down by :meth:`MultiprocessKernelBackend.close`, the context-manager
+exit, or a :mod:`weakref` finalizer when the backend is dropped or the
+interpreter exits.  Workers never unpickle a layout: cell state is
+published into a shared-memory float64 block
+(:mod:`repro.kernels.shm`) that workers attach zero-copy and refresh
+from when a task carries a newer epoch — only target-index slices and
+placement/work results travel over the pipes.
+
+**When sharding loses.**  Per-target round-trips and result pickling
+still cost real time, so small designs — or heavily contended dense
+designs where most speculations get rejected — are faster on the plain
+``numpy`` backend; :attr:`MultiprocessKernelBackend
 .min_parallel_targets` short-circuits tiny runs to the sequential inner
 backend, and ``shard_stats`` in the trace records the rejection rate so
 sweeps can see where the crossover sits.
@@ -53,6 +67,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import weakref
+from collections import deque
 from multiprocessing import connection as mp_connection
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -61,6 +78,11 @@ from repro.kernels.base import KernelBackend
 #: Environment variable overriding the default worker count (used by the
 #: CI equivalence matrix to sweep pool sizes without code changes).
 WORKERS_ENV_VAR = "REPRO_MP_WORKERS"
+
+#: Exceptions ``pickle.dumps`` raises for unpicklable legalizer
+#: configurations (exotic orderings / shifters); the backend falls back
+#: to an equivalent non-pool path instead of crashing the run.
+_UNPICKLABLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
 
 
 def parse_worker_count(value: str, *, source: str = WORKERS_ENV_VAR) -> int:
@@ -100,44 +122,49 @@ def _fork_available() -> bool:
 # ----------------------------------------------------------------------
 # Worker-side execution
 # ----------------------------------------------------------------------
-#: Fork-inherited worker state; set by the parent immediately before its
-#: pool/processes fork so children read it without pickling the layout.
-#: Static sharding uses ``(layout, legalizer, shards)``; the wavefront
-#: uses ``(layout, legalizer, None)``.
-_WORKER_STATE: Optional[Tuple[Any, Any, Optional[List[List[int]]]]] = None
-
-
 def _execute_shard(layout, legalizer, cell_indices: Sequence[int]):
     """Run the sequential legalizer over one static shard's targets.
 
     Returns ``(works, failed, placements)`` where ``placements`` holds
-    ``(cell_index, x, y)`` for every legalized cell of the worker's
-    layout copy (the parent keeps only the entries that changed).
+    ``(cell_index, x, y)`` for every cell the shard actually *touched*
+    (placed targets plus shifted obstacles) — the parent applies only
+    the entries that changed, so shipping the untouched majority of the
+    layout back over the pipe would be pure overhead.
     """
     works = []
     failed: List[int] = []
-    for index in cell_indices:
-        target = layout.cells[index]
-        if target.legalized:
-            continue
-        placed, work = legalizer._legalize_cell(layout, target)
-        works.append(work)
-        if not placed:
-            failed.append(index)
+    touched = set()
+    orig_move = layout.move_obstacle
+    orig_mark = layout.mark_legalized
+
+    def recording_move(cell, new_x):
+        touched.add(cell.index)
+        orig_move(cell, new_x)
+
+    def recording_mark(cell, x, y):
+        touched.add(cell.index)
+        orig_mark(cell, x, y)
+
+    layout.move_obstacle = recording_move
+    layout.mark_legalized = recording_mark
+    try:
+        for index in cell_indices:
+            target = layout.cells[index]
+            if target.legalized:
+                continue
+            placed, work = legalizer._legalize_cell(layout, target)
+            works.append(work)
+            if not placed:
+                failed.append(index)
+    finally:
+        layout.move_obstacle = orig_move
+        layout.mark_legalized = orig_mark
     placements = [
-        (cell.index, cell.x, cell.y)
-        for cell in layout.cells
-        if cell.legalized and not cell.fixed
+        (index, layout.cells[index].x, layout.cells[index].y)
+        for index in sorted(touched)
+        if layout.cells[index].legalized and not layout.cells[index].fixed
     ]
     return works, failed, placements
-
-
-def _run_shard(shard_index: int):
-    """Pool entry point: execute one static shard against forked state."""
-    assert _WORKER_STATE is not None, "worker state not initialised before fork"
-    layout, legalizer, shards = _WORKER_STATE
-    assert shards is not None
-    return _execute_shard(layout, legalizer, shards[shard_index])
 
 
 def _apply_commits(layout, commits, move_fn=None, place_fn=None) -> None:
@@ -145,7 +172,7 @@ def _apply_commits(layout, commits, move_fn=None, place_fn=None) -> None:
 
     ``commits`` entries are ``("move", cell_index, new_x)`` or
     ``("place", cell_index, x, y)``; the optional function overrides let
-    the wavefront worker bypass its own recording wrappers.
+    callers bypass recording wrappers.
     """
     move_fn = move_fn or layout.move_obstacle
     place_fn = place_fn or layout.mark_legalized
@@ -184,61 +211,45 @@ def _decode_work(values: Tuple):
     return InsertionPointWork(**dict(zip(_WORK_FIELDS, values)))
 
 
-def _point_worker(conn) -> None:
-    """Persistent stateless worker evaluating insertion-point chunks.
+def _evaluate_points(payload):
+    """Evaluate one insertion-point chunk with the sequential FOP stages.
 
-    Receives a pickled ``(region, target, params)`` broadcast blob
-    followed by its point chunk, and returns one ``(best_x, cost,
-    work_tuple)`` triple per point, produced by the exact sequential FOP
-    stages (:func:`repro.mgl.fop.evaluate_point_list`).  The worker
-    holds no layout state, so one pool serves every region of every run.
+    ``payload`` is ``(blob, points)`` where ``blob`` is the pickled
+    ``(region, target, params)`` broadcast; returns one ``(best_x, cost,
+    work_tuple)`` triple per point.  Stateless: the region travels with
+    the task, so any pool worker can serve any region of any run.
     """
-    import pickle
-
     from repro.core.sacs import SortAheadShifter
     from repro.kernels import get_kernel_backend
     from repro.mgl.fop import FOPConfig, evaluate_point_list
     from repro.mgl.shifting import OriginalShifter
 
-    try:
-        while True:
-            blob = conn.recv_bytes()
-            if not blob:
-                return
-            region, target, params = pickle.loads(blob)
-            points = conn.recv()
-            backend = get_kernel_backend(params["inner"])
-            shifter = (
-                SortAheadShifter(backend=backend)
-                if params["sacs"]
-                else OriginalShifter()
-            )
-            config = FOPConfig(
-                shifter=shifter,
-                use_fwd_bwd_pipeline=params["fwd_bwd"],
-                vertical_cost_factor=params["vcf"],
-                backend=backend,
-            )
-            shifter.prepare(region)
-            scored = evaluate_point_list(region, target, points, config, backend)
-            conn.send(
-                [(best_x, cost, _encode_work(work)) for _, best_x, cost, _, work in scored]
-            )
-    except EOFError:  # pragma: no cover - parent died
-        return
-    finally:
-        conn.close()
+    blob, points = payload
+    region, target, params = pickle.loads(blob)
+    backend = get_kernel_backend(params["inner"])
+    shifter = (
+        SortAheadShifter(backend=backend) if params["sacs"] else OriginalShifter()
+    )
+    config = FOPConfig(
+        shifter=shifter,
+        use_fwd_bwd_pipeline=params["fwd_bwd"],
+        vertical_cost_factor=params["vcf"],
+        backend=backend,
+    )
+    shifter.prepare(region)
+    scored = evaluate_point_list(region, target, points, config, backend)
+    return [(best_x, cost, _encode_work(work)) for _, best_x, cost, _, work in scored]
 
 
-def _wavefront_worker(conn) -> None:
-    """Persistent speculative worker: evaluate targets, report, undo.
+def _evaluate_wave(layout, legalizer, payload):
+    """Speculatively evaluate one wavefront target, report, undo.
 
-    The worker's layout mirrors the *committed* state of the run: every
-    request carries the commit delta since this worker's last sync, and
-    the worker's own speculative mutations are undone after reporting.
+    The mirror layout tracks the *committed* state of the run: the task
+    carries the commit delta since this worker's last wave task, and the
+    worker's own speculative mutations are undone after reporting.
     """
-    assert _WORKER_STATE is not None, "worker state not initialised before fork"
-    layout, legalizer, _ = _WORKER_STATE
+    target_index, commit_delta = payload
+    _apply_commits(layout, commit_delta)
     recording: List[Tuple] = []
     orig_move = layout.move_obstacle
     orig_mark = layout.mark_legalized
@@ -256,30 +267,152 @@ def _wavefront_worker(conn) -> None:
     layout.move_obstacle = recording_move
     layout.mark_legalized = recording_mark
     try:
+        placed, work = legalizer._legalize_cell(layout, layout.cells[target_index])
+    finally:
+        layout.move_obstacle = orig_move
+        layout.mark_legalized = orig_mark
+    commits = [
+        ("move", entry[1], entry[3])
+        if entry[0] == "move"
+        else ("place", entry[1], entry[5], entry[6])
+        for entry in recording
+    ]
+    for entry in reversed(recording):
+        cell = layout.cells[entry[1]]
+        if entry[0] == "move":
+            orig_move(cell, entry[2])
+        else:
+            layout.unmark_legalized(cell, entry[2], entry[3], entry[4])
+    return target_index, placed, work, commits
+
+
+def _pool_worker(conn) -> None:
+    """Persistent pool worker: serve tasks until told to quit.
+
+    Message protocol (parent -> worker): ``None`` shuts the worker down;
+    anything else is ``(kind, sync, payload)`` where ``sync`` is the
+    optional shared-memory catch-up built by
+    :meth:`repro.kernels.shm.SharedCellStore.build_sync` (piggybacked on
+    the first task after each publish).  Every task gets exactly one
+    reply: ``("ok", result)`` or ``("err", traceback_text)`` — keeping
+    the pipe protocol in lock-step even when a task raises, so one bad
+    shard cannot wedge the pool.
+    """
+    import traceback
+
+    from repro.kernels.shm import WorkerLayoutMirror
+
+    mirror = WorkerLayoutMirror()
+    legalizer = None
+    try:
         while True:
             message = conn.recv()
             if message is None:
                 return
-            target_index, commit_delta = message
-            _apply_commits(layout, commit_delta, move_fn=orig_move, place_fn=orig_mark)
-            recording.clear()
-            placed, work = legalizer._legalize_cell(layout, layout.cells[target_index])
-            commits = [
-                ("move", entry[1], entry[3])
-                if entry[0] == "move"
-                else ("place", entry[1], entry[5], entry[6])
-                for entry in recording
-            ]
-            for entry in reversed(recording):
-                cell = layout.cells[entry[1]]
-                if entry[0] == "move":
-                    orig_move(cell, entry[2])
+            kind, sync, payload = message
+            try:
+                if sync is not None:
+                    blob = sync.pop("legalizer", None)
+                    if blob is not None:
+                        legalizer = pickle.loads(blob)
+                    mirror.apply_sync(sync)
+                elif kind == "shard" and mirror.stale:
+                    # A second shard at the same epoch: reset the mirror
+                    # to the published state (shards are window-disjoint,
+                    # but placements must be computed against the run's
+                    # initial layout, not a sibling shard's output).
+                    mirror.refresh()
+                if kind == "shard":
+                    mirror.stale = True
+                    result = _execute_shard(mirror.layout, legalizer, payload)
+                elif kind == "wave":
+                    mirror.stale = True
+                    result = _evaluate_wave(mirror.layout, legalizer, payload)
+                elif kind == "points":
+                    result = _evaluate_points(payload)
                 else:
-                    layout.unmark_legalized(cell, entry[2], entry[3], entry[4])
-            recording.clear()
-            conn.send((target_index, placed, work, commits))
+                    raise ValueError(f"unknown pool task {kind!r}")
+            except BaseException:
+                conn.send(("err", traceback.format_exc()))
+                continue
+            conn.send(("ok", result))
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover - parent died
+        return
     finally:
+        mirror.close()
         conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool state
+# ----------------------------------------------------------------------
+class _WorkerTaskError(Exception):
+    """A pool worker's task raised; carries the worker-side traceback."""
+
+    def __init__(self, details: str) -> None:
+        super().__init__(details)
+        self.details = details
+
+
+class _PoolWorkerHandle:
+    """One pool worker process plus what it has seen of the world."""
+
+    __slots__ = (
+        "process",
+        "conn",
+        "epoch",
+        "design_rev",
+        "n_cells",
+        "shm_name",
+        "legalizer_rev",
+    )
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.epoch = -1
+        self.design_rev = -1
+        self.n_cells = 0
+        self.shm_name = None
+        self.legalizer_rev = -1
+
+
+class _PoolState:
+    """Everything :func:`_shutdown_pool` must reap.
+
+    Kept separate from the backend object so a :mod:`weakref` finalizer
+    can own it without keeping the backend alive — the old
+    ``atexit.register(self.close)`` pattern pinned the backend (and its
+    workers) in memory forever.
+    """
+
+    def __init__(self, use_shared_memory: Optional[bool] = None) -> None:
+        from repro.kernels.shm import SharedCellStore
+
+        self.workers: List[_PoolWorkerHandle] = []
+        self.store = SharedCellStore(use_shared_memory)
+        self.legalizer_blob: Optional[bytes] = None
+        self.legalizer_rev = 0
+
+
+def _shutdown_pool(state: _PoolState) -> None:
+    """Reap a pool: polite shutdown, then join, then terminate."""
+    workers, state.workers = state.workers, []
+    for worker in workers:
+        try:
+            worker.conn.send(None)
+        except (BrokenPipeError, OSError):  # pragma: no cover - worker died
+            pass
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+    for worker in workers:
+        worker.process.join(timeout=5.0)
+        if worker.process.is_alive():  # pragma: no cover - defensive
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+    state.store.close()
 
 
 # ----------------------------------------------------------------------
@@ -310,6 +443,12 @@ class MultiprocessKernelBackend(KernelBackend):
         ``"auto"`` (default) picks static sharding when the window
         components split well and the speculative wavefront otherwise;
         ``"static"`` / ``"wavefront"`` force one engine.
+
+    The worker pool is **persistent**: forked lazily on first use and
+    reused by every subsequent run until :meth:`close` (also invoked by
+    ``with backend: ...``, by a finalizer when the backend is garbage
+    collected, and at interpreter exit).  ``close()`` is idempotent and
+    non-terminal — the next run simply forks a fresh pool.
     """
 
     name = "multiprocess"
@@ -359,7 +498,12 @@ class MultiprocessKernelBackend(KernelBackend):
         #: Shard statistics of the most recent run (also recorded in the
         #: trace); useful for benchmarks and reports.
         self.last_shard_stats: Optional[Dict[str, Any]] = None
-        self._point_pool: Optional[List] = None
+        self._pool: Optional[_PoolState] = None
+        self._pool_finalizer = None
+        #: Total worker processes forked over the backend's lifetime;
+        #: stays flat across runs while the pool is being reused (the
+        #: pool-reuse tests assert on it).
+        self.workers_spawned = 0
         self._point_parallel_regions = 0
 
     # ------------------------------------------------------------------
@@ -393,6 +537,118 @@ class MultiprocessKernelBackend(KernelBackend):
         return self.inner.shift_sacs(region, target, insertion, context)
 
     # ------------------------------------------------------------------
+    # Persistent pool management
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, n_workers: Optional[int] = None) -> _PoolState:
+        """Fork the pool up to the needed size (never past ``workers``)."""
+        target = (
+            self.workers
+            if n_workers is None
+            else max(1, min(self.workers, n_workers))
+        )
+        if self._pool is None:
+            self._pool = _PoolState()
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool
+            )
+        state = self._pool
+        if len(state.workers) < target:
+            try:
+                # Start the parent's resource tracker *before* forking:
+                # workers attach shared memory, and a child that inherits
+                # no live tracker fd spawns its own tracker, which
+                # "cleans up" (unlinks) the parent's segment when the
+                # worker exits.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - platform-specific
+                pass
+            ctx = multiprocessing.get_context("fork")
+            while len(state.workers) < target:
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_pool_worker, args=(child_conn,), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                state.workers.append(_PoolWorkerHandle(process, parent_conn))
+                self.workers_spawned += 1
+        return state
+
+    def _publish(self, state: _PoolState, layout, worker_legalizer) -> None:
+        """Stage the layout into shared memory and version the legalizer.
+
+        The legalizer blob is pickled first so an unpicklable
+        configuration fails *before* the store's epoch moves (callers
+        fall back to a non-pool path on :data:`_UNPICKLABLE_ERRORS`).
+        Workers never call the ordering, so it is normalised to the
+        default before pickling — closure orderings must not break the
+        pool path.
+        """
+        from repro.mgl.legalizer import size_descending_order
+
+        if hasattr(worker_legalizer, "ordering"):
+            worker_legalizer.ordering = size_descending_order
+        blob = pickle.dumps(worker_legalizer, pickle.HIGHEST_PROTOCOL)
+        state.store.publish(layout)
+        if blob != state.legalizer_blob:
+            state.legalizer_blob = blob
+            state.legalizer_rev += 1
+
+    def _send_task(
+        self, state: _PoolState, worker: _PoolWorkerHandle, kind: str, payload
+    ) -> None:
+        """Send one task, piggybacking the sync if the worker is behind."""
+        sync = None
+        if kind != "points" and worker.epoch != state.store.epoch:
+            sync = state.store.build_sync(worker)
+            if worker.legalizer_rev != state.legalizer_rev:
+                sync["legalizer"] = state.legalizer_blob
+                worker.legalizer_rev = state.legalizer_rev
+            worker.epoch = state.store.epoch
+            worker.design_rev = state.store.design_rev
+            worker.n_cells = state.store.n_cells
+            worker.shm_name = state.store.shm_name
+        worker.conn.send((kind, sync, payload))
+
+    def _recv_reply(self, worker: _PoolWorkerHandle):
+        """Receive one task reply; tear the pool down on transport death."""
+        try:
+            status, payload = worker.conn.recv()
+        except (EOFError, OSError) as exc:
+            self.close()
+            raise RuntimeError(
+                "multiprocess pool worker died mid-task; pool torn down"
+            ) from exc
+        if status == "err":
+            raise _WorkerTaskError(payload)
+        return payload
+
+    def close(self) -> None:
+        """Tear down the persistent worker pool and its shared memory.
+
+        Idempotent, and not terminal: the next sharded run (or
+        point-parallel region) lazily forks a fresh pool.  Also invoked
+        by the context-manager exit, by a finalizer when the backend is
+        garbage collected, and at interpreter exit — so dropped
+        backends and aborted runs cannot leak worker processes.
+        """
+        state, self._pool = self._pool, None
+        finalizer, self._pool_finalizer = self._pool_finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if state is not None:
+            _shutdown_pool(state)
+
+    def __enter__(self) -> "MultiprocessKernelBackend":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
     # Intra-region insertion-point parallelism (the paper's FOP-PE axis)
     # ------------------------------------------------------------------
     def should_parallelize_fop(self, region, points) -> bool:
@@ -421,8 +677,6 @@ class MultiprocessKernelBackend(KernelBackend):
         are not shipped back (the caller re-derives the winner's);
         unknown shifter types fall back to the sequential path.
         """
-        import pickle
-
         from repro.core.sacs import SortAheadShifter
         from repro.mgl.fop import evaluate_point_list
         from repro.mgl.shifting import OriginalShifter
@@ -433,11 +687,13 @@ class MultiprocessKernelBackend(KernelBackend):
             sacs = False
         else:
             return evaluate_point_list(region, target, points, config, self)
-        pool = self._ensure_point_pool()
-        # Chunk 0 runs in-parent; cap the fan-out at the physical core
-        # count — oversubscribing cores only adds scheduling noise, and
-        # results are chunking-independent anyway.
-        n_chunks = max(2, min(len(pool) + 1, os.cpu_count() or 2, len(points)))
+        state = self._ensure_pool()
+        pool = state.workers
+        # Chunk 0 runs in-parent; the fan-out honours the *configured*
+        # worker count — a 2-worker backend (REPRO_MP_WORKERS=2 or
+        # "multiprocess:2") must chunk for 2 workers regardless of how
+        # many cores the machine has.  Results are chunking-independent.
+        n_chunks = max(2, min(len(pool) + 1, len(points)))
         n_chunks = min(n_chunks, len(points))
         # Deal the points into fine stride groups and give the parent a
         # biased share: workers pay the region unpickle / context rebuild
@@ -461,11 +717,6 @@ class MultiprocessKernelBackend(KernelBackend):
             "vcf": config.vertical_cost_factor,
         }
         blob = pickle.dumps((region, target, params), pickle.HIGHEST_PROTOCOL)
-        for (_process, conn), share in zip(pool, shares[1:]):
-            conn.send_bytes(blob)
-            conn.send([p for g in share for p in groups[g]])
-        self._point_parallel_regions += 1
-
         results: List[Optional[Tuple]] = [None] * len(points)
 
         def place(share, scored):
@@ -475,62 +726,46 @@ class MultiprocessKernelBackend(KernelBackend):
                 results[g::n_groups] = scored[pos : pos + size]
                 pos += size
 
-        place(
-            shares[0],
-            evaluate_point_list(
-                region, target, [p for g in shares[0] for p in groups[g]], config, self
-            ),
-        )
-        for (_process, conn), share in zip(pool, shares[1:]):
-            part = conn.recv()
-            decoded = [
-                (insertion, best_x, cost, None, _decode_work(work))
-                for insertion, (best_x, cost, work) in zip(
-                    (p for g in share for p in groups[g]), part
+        try:
+            for worker, share in zip(pool, shares[1:]):
+                self._send_task(
+                    state, worker, "points", (blob, [p for g in share for p in groups[g]])
                 )
-            ]
-            if decoded:
-                # Each worker built a fresh SACS context, so each chunk's
-                # first point carries a sort report; sequentially only the
-                # region's very first point (in the parent's chunk) does.
-                decoded[0][4].sort_size = 0
-            place(share, decoded)
+            self._point_parallel_regions += 1
+
+            place(
+                shares[0],
+                evaluate_point_list(
+                    region,
+                    target,
+                    [p for g in shares[0] for p in groups[g]],
+                    config,
+                    self,
+                ),
+            )
+            for worker, share in zip(pool, shares[1:]):
+                part = self._recv_reply(worker)
+                decoded = [
+                    (insertion, best_x, cost, None, _decode_work(work))
+                    for insertion, (best_x, cost, work) in zip(
+                        (p for g in share for p in groups[g]), part
+                    )
+                ]
+                if decoded:
+                    # Each worker built a fresh SACS context, so each chunk's
+                    # first point carries a sort report; sequentially only the
+                    # region's very first point (in the parent's chunk) does.
+                    decoded[0][4].sort_size = 0
+                place(share, decoded)
+        except _WorkerTaskError as exc:
+            self.close()
+            raise RuntimeError(
+                "multiprocess point worker failed:\n" + exc.details
+            ) from None
+        except BaseException:
+            self.close()
+            raise
         return results
-
-    def _ensure_point_pool(self):
-        if self._point_pool is None:
-            ctx = multiprocessing.get_context("fork")
-            pool = []
-            for _ in range(self.workers):
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_point_worker, args=(child_conn,), daemon=True
-                )
-                process.start()
-                child_conn.close()
-                pool.append((process, parent_conn))
-            self._point_pool = pool
-            import atexit
-
-            atexit.register(self.close)
-        return self._point_pool
-
-    def close(self) -> None:
-        """Shut down the persistent point-parallel worker pool."""
-        pool, self._point_pool = self._point_pool, None
-        if not pool:
-            return
-        for process, conn in pool:
-            try:
-                conn.send_bytes(b"")  # empty blob = shutdown
-            except (BrokenPipeError, OSError):  # pragma: no cover
-                pass
-            conn.close()
-        for process, _conn in pool:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join(timeout=1.0)
 
     # ------------------------------------------------------------------
     # Layout-level sharded execution
@@ -567,6 +802,7 @@ class MultiprocessKernelBackend(KernelBackend):
             )
         finally:
             stats["point_parallel_regions"] = self._point_parallel_regions
+            stats["pool_workers_spawned"] = self.workers_spawned
             # Report the processes that actually executed FOP work: 1 for
             # runs that short-circuited to the sequential path end to end
             # (and for the in-process test mode, which forks nothing).
@@ -629,14 +865,18 @@ class MultiprocessKernelBackend(KernelBackend):
             return self._run_static(
                 legalizer, layout, worker_legalizer, ordered, trace, plan, stats
             )
-        return self._run_wavefront(layout, worker_legalizer, ordered, trace, stats)
+        return self._run_wavefront(
+            legalizer, layout, worker_legalizer, ordered, trace, stats
+        )
 
     # ------------------------------------------------------------------
     # Static sharding engine
     # ------------------------------------------------------------------
     def _run_static(self, legalizer, layout, worker_legalizer, ordered, trace, plan, stats):
         stats["mode"] = "static" if self.use_processes else "in-process"
-        shard_results = self._execute_shards(layout, worker_legalizer, plan.shards)
+        shard_results = self._execute_shards(
+            layout, worker_legalizer, plan.shard_descriptors()
+        )
 
         conflicts = self._validate_static(plan, shard_results)
         stats["escaped_targets"] = len(conflicts)
@@ -650,21 +890,58 @@ class MultiprocessKernelBackend(KernelBackend):
         return self._merge_static(layout, ordered, trace, shard_results)
 
     def _execute_shards(self, layout, worker_legalizer, shards):
-        """Run every static shard, in parallel processes or in-process."""
-        global _WORKER_STATE
+        """Run every static shard, on the persistent pool or in-process."""
         if not self.use_processes or not _fork_available():
             return [
                 _execute_shard(layout.copy(), worker_legalizer, shard)
                 for shard in shards
             ]
-        n_procs = max(1, sum(1 for shard in shards if shard))
-        ctx = multiprocessing.get_context("fork")
-        _WORKER_STATE = (layout, worker_legalizer, list(shards))
+        nonempty = [pos for pos, shard in enumerate(shards) if len(shard)]
+        results: List[Tuple] = [([], [], []) for _ in shards]
+        if not nonempty:
+            return results
         try:
-            with ctx.Pool(processes=n_procs) as pool:
-                return pool.map(_run_shard, range(len(shards)))
-        finally:
-            _WORKER_STATE = None
+            # The pool is sized by the *configured* worker count, capped
+            # at the number of non-empty shards — a planner emitting more
+            # shards than workers queues them round-robin instead of
+            # oversubscribing the host with one process per shard.
+            state = self._ensure_pool(len(nonempty))
+            self._publish(state, layout, worker_legalizer)
+        except _UNPICKLABLE_ERRORS:
+            return [
+                _execute_shard(layout.copy(), worker_legalizer, shard)
+                for shard in shards
+            ]
+        active = state.workers[: min(len(state.workers), len(nonempty))]
+        pending = {worker_id: deque() for worker_id in range(len(active))}
+        conn_index = {id(active[i].conn): i for i in range(len(active))}
+        try:
+            for k, pos in enumerate(nonempty):
+                worker_id = k % len(active)
+                self._send_task(state, active[worker_id], "shard", shards[pos])
+                pending[worker_id].append(pos)
+            outstanding = len(nonempty)
+            while outstanding:
+                busy = [
+                    active[i].conn for i in range(len(active)) if pending[i]
+                ]
+                for conn in mp_connection.wait(busy):
+                    worker_id = conn_index[id(conn)]
+                    payload = self._recv_reply(active[worker_id])
+                    results[pending[worker_id].popleft()] = payload
+                    outstanding -= 1
+        except _WorkerTaskError as exc:
+            self.close()
+            raise RuntimeError(
+                "multiprocess shard worker failed:\n" + exc.details
+            ) from None
+        except BaseException:
+            # Shard exception, transport death or KeyboardInterrupt: reap
+            # the whole pool so no worker is left mid-protocol (the next
+            # run forks a fresh one).
+            self.close()
+            raise
+        return results
 
     @staticmethod
     def _validate_static(plan, shard_results) -> List[int]:
@@ -718,7 +995,7 @@ class MultiprocessKernelBackend(KernelBackend):
     # ------------------------------------------------------------------
     # Speculative wavefront engine
     # ------------------------------------------------------------------
-    def _run_wavefront(self, layout, worker_legalizer, ordered, trace, stats):
+    def _run_wavefront(self, legalizer, layout, worker_legalizer, ordered, trace, stats):
         from repro.core.task_assignment import TargetWindowRect
 
         stats["mode"] = "wavefront"
@@ -726,21 +1003,16 @@ class MultiprocessKernelBackend(KernelBackend):
         n = len(targets)
         n_workers = min(self.workers, n)
 
-        global _WORKER_STATE
-        ctx = multiprocessing.get_context("fork")
-        _WORKER_STATE = (layout, worker_legalizer, None)
-        workers = []
         try:
-            for _ in range(n_workers):
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_wavefront_worker, args=(child_conn,), daemon=True
-                )
-                process.start()
-                child_conn.close()
-                workers.append([process, parent_conn, None])  # [proc, conn, rank]
-        finally:
-            _WORKER_STATE = None
+            state = self._ensure_pool(n_workers)
+            self._publish(state, layout, worker_legalizer)
+        except _UNPICKLABLE_ERRORS:
+            stats["mode"] = "point-parallel"
+            return legalizer._legalize_ordered(layout, ordered, trace)
+        active = state.workers[: min(len(state.workers), n_workers)]
+        n_workers = len(active)
+        rank_of: List[Optional[int]] = [None] * n_workers
+        conn_index = {id(active[i].conn): i for i in range(n_workers)}
 
         #: Commit log: one entry per accepted target, ``(hazard_rects,
         #: commits)`` in global processing order.  ``hazard_rects`` holds
@@ -801,25 +1073,31 @@ class MultiprocessKernelBackend(KernelBackend):
             ]
             sync_pos[worker_id] = len(commit_log)
             sent_pos[rank] = len(commit_log)
-            workers[worker_id][1].send((targets[rank], delta))
-            workers[worker_id][2] = rank
+            self._send_task(
+                state, active[worker_id], "wave", (targets[rank], delta)
+            )
+            rank_of[worker_id] = rank
             return True
 
         try:
             while frontier < n:
-                for worker_id, state in enumerate(workers):
-                    if state[2] is None:
+                for worker_id in range(n_workers):
+                    if rank_of[worker_id] is None:
                         dispatch(worker_id)
-                busy = [state[1] for state in workers if state[2] is not None]
+                busy = [
+                    active[i].conn
+                    for i in range(n_workers)
+                    if rank_of[i] is not None
+                ]
                 if not busy:  # pragma: no cover - defensive
                     raise RuntimeError("wavefront stalled with work pending")
                 for conn in mp_connection.wait(busy):
-                    target_index, placed, work, commits = conn.recv()
-                    for state in workers:
-                        if state[1] is conn:
-                            buffered[state[2]] = (placed, work, commits)
-                            state[2] = None
-                            break
+                    worker_id = conn_index[id(conn)]
+                    _target_index, placed, work, commits = self._recv_reply(
+                        active[worker_id]
+                    )
+                    buffered[rank_of[worker_id]] = (placed, work, commits)
+                    rank_of[worker_id] = None
                 while frontier in buffered:
                     placed, work, commits = buffered.pop(frontier)
                     rect = work.final_window
@@ -846,18 +1124,14 @@ class MultiprocessKernelBackend(KernelBackend):
                     if not placed:
                         failed.append(work.cell_index)
                     frontier += 1
-        finally:
-            for process, conn, _rank in workers:
-                try:
-                    conn.send(None)
-                except (BrokenPipeError, OSError):  # pragma: no cover
-                    pass
-                conn.close()
-            for process, _conn, _rank in workers:
-                process.join(timeout=5.0)
-                if process.is_alive():  # pragma: no cover - defensive
-                    process.terminate()
-                    process.join(timeout=1.0)
+        except _WorkerTaskError as exc:
+            self.close()
+            raise RuntimeError(
+                "multiprocess wavefront worker failed:\n" + exc.details
+            ) from None
+        except BaseException:
+            self.close()
+            raise
 
         stats["speculation_rejects"] = rejects
         stats["commits"] = len(commit_log)

@@ -1,0 +1,310 @@
+"""Shared-memory cell-state synchronisation for the multiprocess backend.
+
+The multiprocess backend used to hand each worker a full pickled layout
+through a fresh fork on **every** run — the dominant cost that made the
+worker sweep a tax instead of a win.  This module replaces that with an
+epoch-versioned publish/attach protocol over one
+:mod:`multiprocessing.shared_memory` segment:
+
+* The parent's :class:`SharedCellStore` stages the numeric state of
+  every cell (x, y, gp_x, gp_y, width, height, fixed/legalized flags)
+  into a single float64 block of shape ``(7, capacity)`` and bumps an
+  *epoch* counter per publish.  Cell metadata that numbers cannot carry
+  (design dimensions, cell names) travels over the worker pipes exactly
+  once per design — and only the appended tail when an ECO stream grows
+  the cell list.
+* Each worker holds a :class:`WorkerLayoutMirror`: a skeleton
+  :class:`~repro.geometry.layout.Layout` whose cells are refreshed from
+  the shared arrays whenever the worker sees a task stamped with a newer
+  epoch.  Attaching is zero-copy; the refresh is one bulk
+  ``float64 -> python float`` conversion plus an index rebuild.
+
+float64 round-trips python floats exactly, widths/heights/flags are
+small integers far below 2**53, and the per-row obstacle index is
+rebuilt with the same sorted-by-``(x, index)`` invariant the parent
+maintains incrementally — so a synced mirror is *bit-for-bit* the
+parent's layout, which is what keeps the backend's equivalence
+guarantee intact.
+
+When numpy is unavailable the store degrades to *snapshot mode*: the
+same column layout is shipped as plain lists over the sync message
+(still far cheaper than pickling a whole layout, and still persistent-
+pool friendly), so the backend keeps working on numpy-less hosts.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # optional dependency, mirrors repro.kernels.numpy_backend
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on numpy-less hosts
+    np = None
+
+#: Column order of the shared block; one row of the ``(7, capacity)``
+#: float64 array per field.  ``flags`` packs ``fixed`` (bit 0) and
+#: ``legalized`` (bit 1).
+CELL_FIELDS: Tuple[str, ...] = (
+    "x",
+    "y",
+    "gp_x",
+    "gp_y",
+    "width",
+    "height",
+    "flags",
+)
+
+FLAG_FIXED = 1
+FLAG_LEGALIZED = 2
+
+#: Minimum segment capacity (cells); growth is geometric so an ECO
+#: stream appending cells does not reallocate per batch.
+_MIN_CAPACITY = 256
+_GROWTH = 1.5
+
+
+def snapshot_cell_state(cells: Sequence[Any]) -> Dict[str, List[float]]:
+    """Column-major numeric snapshot of ``cells`` (pipe fallback mode)."""
+    return {
+        "x": [c.x for c in cells],
+        "y": [c.y for c in cells],
+        "gp_x": [c.gp_x for c in cells],
+        "gp_y": [c.gp_y for c in cells],
+        "width": [c.width for c in cells],
+        "height": [float(c.height) for c in cells],
+        "flags": [
+            float((FLAG_FIXED if c.fixed else 0) | (FLAG_LEGALIZED if c.legalized else 0))
+            for c in cells
+        ],
+    }
+
+
+class _Segment:
+    """One shared-memory block viewed as the ``(7, capacity)`` array."""
+
+    def __init__(self, capacity: int, name: Optional[str] = None) -> None:
+        from multiprocessing import shared_memory
+
+        self.capacity = int(capacity)
+        size = len(CELL_FIELDS) * self.capacity * 8
+        if name is None:
+            self.shm = shared_memory.SharedMemory(create=True, size=size)
+            self.owned = True
+        else:
+            # Attaching re-registers the segment with the resource
+            # tracker on CPython < 3.13; workers are forked, so this goes
+            # to the parent's tracker daemon, whose per-type cache is a
+            # set — the duplicate is idempotent and the parent's unlink
+            # at close keeps the tracker clean.  (Explicitly
+            # unregistering here would instead delete the parent's own
+            # registration and make its final unlink warn.)
+            self.shm = shared_memory.SharedMemory(name=name)
+            self.owned = False
+        self.data = np.ndarray(
+            (len(CELL_FIELDS), self.capacity), dtype=np.float64, buffer=self.shm.buf
+        )
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def columns(self, n_cells: int) -> Dict[str, Any]:
+        return {
+            field: self.data[i, :n_cells] for i, field in enumerate(CELL_FIELDS)
+        }
+
+    def close(self) -> None:
+        # Drop the array view first: SharedMemory.close() refuses while
+        # exported buffers are alive.
+        self.data = None
+        try:
+            self.shm.close()
+        except (BufferError, OSError):  # pragma: no cover - defensive
+            return
+        if self.owned:
+            try:
+                self.shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+
+class SharedCellStore:
+    """Parent-side publisher of a layout's numeric cell state.
+
+    ``publish(layout)`` stages the current cell arrays and bumps the
+    epoch; ``build_sync(view)`` produces the (small) per-worker catch-up
+    message for any worker whose :class:`WorkerLayoutMirror` is behind —
+    design metadata and names only when the design identity changed or
+    the cell list grew, the shared-segment descriptor only when the
+    segment was (re)allocated.
+    """
+
+    def __init__(self, use_shared_memory: Optional[bool] = None) -> None:
+        if use_shared_memory is None:
+            use_shared_memory = np is not None
+        if use_shared_memory and np is None:
+            raise ValueError("shared-memory mode requires numpy")
+        self.use_shared_memory = bool(use_shared_memory)
+        self.epoch = 0
+        self.design_rev = 0
+        self.n_cells = 0
+        self.names: List[str] = []
+        self.snapshot: Optional[Dict[str, List[float]]] = None
+        self.segment: Optional[_Segment] = None
+        #: Segments superseded by a capacity growth.  Workers may still
+        #: be attached to them until their next sync, so they are only
+        #: unlinked at :meth:`close` (growth is rare; keeping a couple of
+        #: retired blocks alive is cheaper than an ack round-trip).
+        self._retired: List[_Segment] = []
+        self._layout_ref = None
+        self._design_meta: Optional[Dict[str, Any]] = None
+
+    @property
+    def shm_name(self) -> Optional[str]:
+        return self.segment.name if self.segment is not None else None
+
+    # ------------------------------------------------------------------
+    def publish(self, layout) -> None:
+        """Stage ``layout``'s cell state and start a new epoch."""
+        cells = layout.cells
+        n = len(cells)
+        previous = self._layout_ref() if self._layout_ref is not None else None
+        if previous is not layout or n < self.n_cells:
+            self.design_rev += 1
+            self._layout_ref = weakref.ref(layout)
+            self._design_meta = {
+                "num_rows": layout.num_rows,
+                "num_sites": layout.num_sites,
+                "site_width": layout.site_width,
+                "row_height": layout.row_height,
+                "name": layout.name,
+            }
+        self.names = [c.name for c in cells]
+        if self.use_shared_memory:
+            if self.segment is None or self.segment.capacity < n:
+                capacity = max(
+                    _MIN_CAPACITY,
+                    n,
+                    int(self.segment.capacity * _GROWTH) if self.segment else 0,
+                )
+                if self.segment is not None:
+                    self._retired.append(self.segment)
+                self.segment = _Segment(capacity)
+            layout.export_cell_arrays(self.segment.columns(n))
+        else:
+            self.snapshot = snapshot_cell_state(cells)
+        self.n_cells = n
+        self.epoch += 1
+
+    # ------------------------------------------------------------------
+    def build_sync(self, view) -> Dict[str, Any]:
+        """Catch-up message bringing ``view`` to the current epoch.
+
+        ``view`` is any object with ``design_rev`` / ``n_cells`` /
+        ``shm_name`` attributes describing what its worker last saw;
+        the caller updates them after sending.
+        """
+        sync: Dict[str, Any] = {
+            "epoch": self.epoch,
+            "design_rev": self.design_rev,
+            "n_cells": self.n_cells,
+        }
+        if view.design_rev != self.design_rev:
+            meta = dict(self._design_meta or {})
+            meta["names"] = tuple(self.names)
+            sync["design"] = meta
+        elif view.n_cells < self.n_cells:
+            sync["names"] = tuple(self.names[view.n_cells :])
+        if self.use_shared_memory:
+            assert self.segment is not None
+            if view.shm_name != self.segment.name:
+                sync["shm"] = (self.segment.name, self.segment.capacity)
+        else:
+            sync["snapshot"] = self.snapshot
+        return sync
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release (and unlink) every shared segment."""
+        for segment in self._retired:
+            segment.close()
+        self._retired = []
+        if self.segment is not None:
+            self.segment.close()
+            self.segment = None
+
+
+class WorkerLayoutMirror:
+    """Worker-side mirror of the published layout.
+
+    Holds a skeleton :class:`~repro.geometry.layout.Layout` built once
+    per design from the sync metadata; every sync (and every
+    :meth:`refresh`) overwrites the cells' numeric state from the shared
+    columns and rebuilds the obstacle index, which makes the mirror an
+    exact reset to the published state — workers can mutate it freely
+    while executing a task and simply refresh before the next one.
+    """
+
+    def __init__(self) -> None:
+        self.layout = None
+        self.epoch = -1
+        self.design_rev = -1
+        self.n_cells = 0
+        self.names: List[str] = []
+        self.segment: Optional[_Segment] = None
+        self._snapshot: Optional[Dict[str, List[float]]] = None
+        #: True once a task mutated the mirror past the published state.
+        self.stale = False
+
+    @property
+    def shm_name(self) -> Optional[str]:
+        return self.segment.name if self.segment is not None else None
+
+    # ------------------------------------------------------------------
+    def apply_sync(self, sync: Dict[str, Any]) -> None:
+        from repro.geometry.layout import Layout
+
+        design = sync.get("design")
+        if design is not None:
+            self.layout = Layout(
+                design["num_rows"],
+                design["num_sites"],
+                site_width=design["site_width"],
+                row_height=design["row_height"],
+                name=design["name"],
+            )
+            self.names = list(design["names"])
+        elif "names" in sync:
+            self.names.extend(sync["names"])
+        shm_desc = sync.get("shm")
+        if shm_desc is not None:
+            name, capacity = shm_desc
+            if self.segment is not None:
+                self.segment.close()
+            self.segment = _Segment(capacity, name=name)
+        if "snapshot" in sync:
+            self._snapshot = sync["snapshot"]
+        self.n_cells = sync["n_cells"]
+        self.epoch = sync["epoch"]
+        self.design_rev = sync.get("design_rev", self.design_rev)
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Reset the mirror's cells to the last-synced published state."""
+        if self.layout is None:
+            raise RuntimeError("mirror refreshed before any design sync")
+        if self.segment is not None:
+            columns = self.segment.columns(self.n_cells)
+        elif self._snapshot is not None:
+            columns = self._snapshot
+        else:
+            raise RuntimeError("mirror has no shared segment or snapshot")
+        new_names = self.names[len(self.layout.cells) : self.n_cells]
+        self.layout.apply_cell_arrays(columns, self.n_cells, new_names)
+        self.stale = False
+
+    def close(self) -> None:
+        if self.segment is not None:
+            self.segment.close()
+            self.segment = None

@@ -190,6 +190,30 @@ class MGLLegalizer:
             use_planner=self.use_window_planner,
         )
 
+    def close(self) -> None:
+        """Release backend-held resources (worker pools, shared memory).
+
+        The ``multiprocess`` backend keeps a persistent worker pool for
+        the legalizer's lifetime; ``close()`` hands the release through
+        to it.  Sequential backends hold nothing and this is a no-op.
+        Idempotent, and not terminal — a later ``legalize`` call simply
+        re-creates what it needs.  ``with MGLLegalizer(...) as leg:``
+        closes automatically.
+        """
+        backend = self.fop_config.backend
+        if backend is not None:
+            backend = resolve_backend(backend)
+        closer = getattr(backend, "close", None)
+        if callable(closer):
+            closer()
+
+    def __enter__(self) -> "MGLLegalizer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> bool:
+        self.close()
+        return False
+
     def with_backend(self, backend: BackendSpec) -> "MGLLegalizer":
         """A clone of this legalizer running on a different kernel backend.
 
