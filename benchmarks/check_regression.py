@@ -163,6 +163,62 @@ def check_mp_sweep(sweep_json: Path, min_speedup: float, min_cores: int = 4) -> 
     return failures
 
 
+def check_service(service_json: Path, max_p95: float, min_throughput: float) -> int:
+    """Gate the concurrent-service benchmark; return failure count.
+
+    Reads the ``BENCH_service.json`` payload written by
+    ``benchmarks/test_bench_service.py`` and fails when any session's
+    served placement mismatched its offline ledger replay (the service
+    layer's headline bit-for-bit contract), when any batch failed to
+    legalize, when the p95 request latency exceeded ``max_p95`` seconds,
+    or when aggregate throughput fell below ``min_throughput``
+    batches/s.  The latency/throughput floors are deliberately loose —
+    they catch a serialized-to-death daemon, not runner jitter; the
+    mismatch count is the strict part.
+    """
+    payload = json.loads(service_json.read_text(encoding="utf-8"))
+    mismatches = int(payload.get("mismatches", 0))
+    failed = int(payload.get("failed_batches", 0))
+    p95 = float(payload.get("latency", {}).get("p95_s", 0.0))
+    throughput = float(payload.get("throughput_batches_per_s", 0.0))
+    print(
+        f"service: {payload.get('clients', '?')} clients x "
+        f"{payload.get('batches_per_client', '?')} batches, "
+        f"p95 {p95:.3f}s (cap {max_p95:.1f}s), "
+        f"{throughput:.1f} batches/s (floor {min_throughput:.1f}), "
+        f"mismatches {mismatches}, failed {failed}"
+    )
+    failures = 0
+    if mismatches:
+        print(
+            f"service REGRESSION: {mismatches} session(s) diverged from "
+            "their offline ledger replay — the daemon changed placements",
+            file=sys.stderr,
+        )
+        failures += 1
+    if failed:
+        print(
+            f"service REGRESSION: {failed} batch(es) failed to legalize",
+            file=sys.stderr,
+        )
+        failures += 1
+    if p95 > max_p95:
+        print(
+            f"service REGRESSION: p95 request latency {p95:.3f}s exceeded "
+            f"the {max_p95:.1f}s cap",
+            file=sys.stderr,
+        )
+        failures += 1
+    if throughput < min_throughput:
+        print(
+            f"service REGRESSION: throughput {throughput:.2f} batches/s fell "
+            f"below the {min_throughput:.1f} floor",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("benchmark_json", type=Path, help="pytest-benchmark JSON output")
@@ -205,6 +261,22 @@ def main(argv=None) -> int:
         help="minimum multiprocess speedup over the sequential baseline "
              "(default 1.0 = parallel must not lose)",
     )
+    parser.add_argument(
+        "--service", type=Path, default=None,
+        help="also gate the concurrent-service benchmark (BENCH_service.json): "
+             "fail on any replay mismatch or failed batch, when p95 latency "
+             "exceeds --max-service-p95, or when throughput falls below "
+             "--min-service-throughput",
+    )
+    parser.add_argument(
+        "--max-service-p95", type=float, default=5.0,
+        help="p95 request-latency cap in seconds for the service bench "
+             "(default 5.0; loose on purpose)",
+    )
+    parser.add_argument(
+        "--min-service-throughput", type=float, default=1.0,
+        help="minimum aggregate service throughput in batches/s (default 1.0)",
+    )
     args = parser.parse_args(argv)
 
     soak_failures = 0
@@ -220,6 +292,13 @@ def main(argv=None) -> int:
             print(f"mp sweep payload {args.mp_sweep} missing", file=sys.stderr)
             return 1
         soak_failures += check_mp_sweep(args.mp_sweep, args.min_mp_speedup)
+    if args.service is not None:
+        if not args.service.exists():
+            print(f"service payload {args.service} missing", file=sys.stderr)
+            return 1
+        soak_failures += check_service(
+            args.service, args.max_service_p95, args.min_service_throughput
+        )
 
     current = load_means(args.benchmark_json)
     if not current:

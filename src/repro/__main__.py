@@ -1,6 +1,6 @@
 """``repro`` console entry point: drive the system without writing Python.
 
-Three subcommands cover the daily workflows::
+Five subcommands cover the daily workflows::
 
     repro legalize design.json [-o out.json] [--backend numpy]
         Load a design (JSON or .cells), legalize it, verify legality,
@@ -21,6 +21,20 @@ Three subcommands cover the daily workflows::
 
             repro eco design.json deltas.json --generate --churn 0.05 --batches 3
             repro eco design.json deltas.json
+
+    repro serve [--host 127.0.0.1 --port 7733 --backend numpy
+                 --max-sessions 8 --max-inflight 64 --port-file port.txt]
+        Run the legalization daemon: a long-running threaded server
+        holding per-design incremental-legalizer sessions and accepting
+        delta batches over length-prefixed JSON frames (see
+        :mod:`repro.service`).  ``--port 0`` binds an ephemeral port;
+        ``--port-file`` writes the bound port for scripts to pick up.
+
+    repro submit design.json deltas.json [--host ... --port ...]
+        Open a session on a running daemon, stream the delta batches to
+        it, print one summary line per batch, close the session — and
+        with ``--verify`` replay the served ledger offline and assert
+        the daemon's final placement is bit-for-bit identical.
 
 The module is installed as the ``repro`` console script via
 ``[project.scripts]`` and is equally runnable as ``python -m repro``.
@@ -273,6 +287,108 @@ def _run_soak(args: argparse.Namespace, layout: Layout) -> int:
     return status
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import LegalizationServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        max_inflight=args.max_inflight,
+        default_backend=args.backend,
+    )
+    server = LegalizationServer(config).start()
+    host, port = server.address
+    print(f"repro serve: listening on {host}:{port} "
+          f"(backend {args.backend!r}, max {args.max_sessions} sessions / "
+          f"{args.max_inflight} in-flight batches)", flush=True)
+    if args.port_file is not None:
+        args.port_file.write_text(f"{port}\n", encoding="utf-8")
+    try:
+        server.serve_forever()
+        print("repro serve: shutdown requested, drained", flush=True)
+    except KeyboardInterrupt:
+        print("repro serve: interrupt, draining sessions", file=sys.stderr)
+        server.close()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.designio import layout_from_dict, save_layout_json
+    from repro.legality import LegalityChecker
+    from repro.service import ServiceClient, ServiceError
+
+    layout = _load_layout(args.design)
+    stream = _load_stream(args.deltas)
+    config = {
+        "backend": args.backend,
+        "worker_budget": args.worker_budget,
+        "full_threshold": args.churn_threshold,
+        **{k: v for k, v in _drift_knobs(args).items() if v is not None},
+    }
+    config = {k: v for k, v in config.items() if v is not None}
+    try:
+        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        raise ValueError(
+            f"cannot reach daemon at {args.host}:{args.port}: {exc}"
+        ) from None
+    status = 0
+    with client:
+        handle = client.open_session(layout, session=args.session, config=config)
+        opened = handle.opened
+        print(f"session      : {handle.name} on {args.host}:{args.port} "
+              f"({opened['num_movable']} movable cells, "
+              f"base AveDis {opened['base_avedis']:.4f})")
+        for i, batch in enumerate(stream):
+            try:
+                r = handle.apply(batch)
+            except ServiceError as exc:
+                print(f"batch {i:<3}    : REJECTED [{exc.code}] {exc.detail}",
+                      file=sys.stderr)
+                status = 1
+                continue
+            print(f"batch {i:<3}    : mode={r['mode']} deltas={r['deltas_applied']} "
+                  f"dirty={r['dirty_total']}/{r['num_movable']} "
+                  f"reused={r['reused_cells']} AveDis={r['avedis']:.4f} "
+                  f"(drift {r['avedis_drift'] * 100.0:+.1f}%) "
+                  f"wall={r['wall_seconds']:.3f}s")
+            if not r["success"]:
+                status = 1
+        if args.repack:
+            r = handle.repack(wait=True)
+            print(f"repack       : AveDis={r['avedis']:.4f} wall={r['wall_seconds']:.3f}s")
+        final = handle.close(return_layout=args.output is not None)
+        engine = final["engine"]
+        print(f"stream total : {engine['batches']} batches, "
+              f"{engine['cells_relegalized']} cells re-legalized, "
+              f"{engine['repacks_total']} repacks, "
+              f"{final['failed_batches']} failed, "
+              f"{final['coalesced_batches']} coalesced, "
+              f"{engine['wall_seconds']:.3f}s engine time")
+        print(f"fingerprint  : {final['fingerprint']}")
+        if final["failed_batches"] or final["async_errors"]:
+            status = 1
+        if args.verify:
+            match = handle.verify(final)
+            print(f"verify       : {'bit-for-bit MATCH' if match else 'MISMATCH'} "
+                  "vs offline replay of the served ledger")
+            if not match:
+                status = 1
+        if args.output is not None:
+            served = layout_from_dict(final["layout"])
+            report = LegalityChecker().check(served)
+            print(f"legality     : {report.summary()}")
+            save_layout_json(served, args.output)
+            print(f"saved        : {args.output}")
+            if not report.legal:
+                status = 1
+        if args.shutdown:
+            client.shutdown()
+            print("daemon       : shutdown requested")
+    return status
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -344,6 +460,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_eco.add_argument("--sample-every", type=int, default=10,
                        help="with --soak: trajectory table sampling period")
     p_eco.set_defaults(func=cmd_eco)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the legalization daemon (sessions + ECO batches "
+                      "over length-prefixed JSON frames)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=7733,
+                         help="bind port (0 = ephemeral; default 7733)")
+    p_serve.add_argument("--port-file", type=Path, default=None,
+                         help="write the bound port here (for scripts/CI)")
+    p_serve.add_argument("--backend", default="numpy",
+                         help="default kernel backend of sessions that do not "
+                              "choose one (python, numpy, multiprocess[:N])")
+    p_serve.add_argument("--max-sessions", type=int, default=8,
+                         help="admission control: max concurrently open sessions")
+    p_serve.add_argument("--max-inflight", type=int, default=64,
+                         help="admission control: max delta batches queued or "
+                              "applying across all sessions")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="stream an ECO delta file to a running daemon session"
+    )
+    p_sub.add_argument("design", type=Path, help="input design (.json or .cells)")
+    p_sub.add_argument("deltas", type=Path, help="delta-stream JSON to replay")
+    p_sub.add_argument("--host", default="127.0.0.1", help="daemon address")
+    p_sub.add_argument("--port", type=int, default=7733, help="daemon port")
+    p_sub.add_argument("--timeout", type=float, default=120.0,
+                       help="per-request socket timeout in seconds")
+    p_sub.add_argument("--session", default=None,
+                       help="session name (default: daemon-assigned)")
+    p_sub.add_argument("--backend", default=None,
+                       help="session kernel backend (default: daemon default)")
+    p_sub.add_argument("--worker-budget", type=int, default=None,
+                       help="per-session multiprocess worker cap")
+    p_sub.add_argument("--churn-threshold", type=float, default=None,
+                       help="dirty fraction above which the session runs a "
+                            "full re-legalization")
+    p_sub.add_argument("--max-drift", type=float, default=None,
+                       help="relative AveDis drift budget triggering a repack "
+                            "(negative disables)")
+    p_sub.add_argument("--repack-every", type=int, default=None,
+                       help="scheduled repack period in batches")
+    p_sub.add_argument("--max-frag-drift", type=float, default=None,
+                       help="absolute fragmentation growth budget (negative disables)")
+    p_sub.add_argument("--repack", action="store_true",
+                       help="request one explicit repack after the stream")
+    p_sub.add_argument("--verify", action="store_true",
+                       help="offline-replay the served ledger and require a "
+                            "bit-for-bit fingerprint match")
+    p_sub.add_argument("-o", "--output", type=Path, default=None,
+                       help="fetch the final served layout and write it here")
+    p_sub.add_argument("--shutdown", action="store_true",
+                       help="ask the daemon to drain and exit afterwards")
+    p_sub.set_defaults(func=cmd_submit)
     return parser
 
 
@@ -373,6 +544,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         # errors: report them in one line instead of a traceback.
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:
+        # A structured daemon rejection (ServiceError) is a user-facing
+        # condition, not a crash; anything else keeps its traceback.
+        # Imported lazily: only the serve/submit paths load the service
+        # stack at all.
+        from repro.service.client import ServiceError
+
+        if isinstance(exc, ServiceError):
+            print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+            return 2
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

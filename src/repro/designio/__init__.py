@@ -11,6 +11,7 @@ Two formats are provided:
 
 from repro.designio.bookshelf import load_cells, save_cells
 from repro.designio.serialize import (
+    layout_fingerprint,
     layout_from_dict,
     layout_to_dict,
     load_layout_json,
@@ -23,6 +24,7 @@ __all__ = [
     "save_cells",
     "layout_to_dict",
     "layout_from_dict",
+    "layout_fingerprint",
     "save_layout_json",
     "load_layout_json",
     "summary_to_dict",

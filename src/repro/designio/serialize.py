@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -62,6 +63,28 @@ def layout_from_dict(data: Dict[str, Any]) -> Layout:
             )
         )
     return layout
+
+
+def layout_fingerprint(layout: Layout) -> str:
+    """Order-stable SHA-256 digest of a layout's exact placement state.
+
+    Two layouts have equal fingerprints iff every cell agrees bit for bit
+    on geometry, desired and placed positions and flags (floats hash via
+    ``repr``, so 0.1 + 0.2 and 0.3 differ — that exactness is the point:
+    the service layer compares a served session's final layout against an
+    offline replay without shipping whole layouts over the wire).
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"{layout.num_rows}|{layout.num_sites}|{layout.site_width!r}|"
+        f"{layout.row_height!r}\n".encode()
+    )
+    for c in layout.cells:
+        digest.update(
+            f"{c.index}|{c.name}|{c.width!r}|{c.height}|{c.gp_x!r}|{c.gp_y!r}|"
+            f"{c.x!r}|{c.y!r}|{int(c.fixed)}|{int(c.legalized)}\n".encode()
+        )
+    return digest.hexdigest()
 
 
 def save_layout_json(layout: Layout, path: Union[str, Path]) -> None:

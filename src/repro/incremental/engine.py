@@ -763,6 +763,70 @@ class IncrementalLegalizer:
         return IncrementalResult(legalization=result, stats=stats)
 
     # ------------------------------------------------------------------
+    def repack(self) -> IncrementalResult:
+        """Explicitly reset every movable cell and re-legalize the design.
+
+        The service layer (and any other long-lived driver) can schedule
+        repacks off its hot path instead of waiting for a governor budget
+        to trip; an explicit repack runs the same reset-and-legalize as a
+        governor repack, counts in ``repacks_total`` and refreshes the
+        quality baseline.  Recorded in :attr:`history` with
+        ``repack_reason="requested"`` so replay ledgers can reproduce it
+        at the same point in the stream.
+        """
+        if self.layout is None:
+            raise RuntimeError(
+                "IncrementalLegalizer.repack() called before begin(); adopt a "
+                "layout with begin(layout) first"
+            )
+        start = time.perf_counter()
+        num_movable = len(self.layout.movable_cells())
+        result = self._repack()
+        self._last_displacement = result.stats
+        avedis = result.stats.average_displacement
+        stats = IncrementalStats(
+            num_movable=num_movable,
+            mode="repack",
+            full_threshold=self.full_threshold,
+            wall_seconds=time.perf_counter() - start,
+            avedis=avedis,
+            baseline_avedis=self._baseline_avedis,
+            avedis_drift=_relative_drift(avedis, self._baseline_avedis),
+            fragmentation=self._baseline_frag,
+            fragmentation_tracked=self.track_fragmentation,
+            baseline_fragmentation=self._baseline_frag,
+            repack_reason="requested",
+            repacks_total=self.repacks_total,
+            batches_since_repack=self.batches_since_repack,
+        )
+        self.history.append(stats)
+        return IncrementalResult(legalization=result, stats=stats)
+
+    # ------------------------------------------------------------------
+    def lifetime_summary(self) -> Dict[str, object]:
+        """Aggregate counters over the engine's whole history.
+
+        The session layer of the service daemon reports this from its
+        ``stats`` / ``close_session`` responses; it is equally handy for
+        soak drivers that only want the end-of-stream picture.
+        """
+        modes: Dict[str, int] = {}
+        for entry in self.history:
+            modes[entry.mode] = modes.get(entry.mode, 0) + 1
+        last = self.history[-1] if self.history else None
+        return {
+            "batches": len(self.history),
+            "modes": modes,
+            "deltas_applied": sum(s.deltas_applied for s in self.history),
+            "cells_relegalized": sum(s.dirty_total for s in self.history),
+            "repacks_total": self.repacks_total,
+            "batches_since_repack": self.batches_since_repack,
+            "wall_seconds": sum(s.wall_seconds for s in self.history),
+            "avedis": last.avedis if last else 0.0,
+            "avedis_drift": last.avedis_drift if last else 0.0,
+        }
+
+    # ------------------------------------------------------------------
     def replay(self, batches: Sequence[DeltaBatch]) -> List[IncrementalResult]:
         """Apply a whole delta stream, one :meth:`apply` per batch."""
         return [self.apply(batch) for batch in batches]

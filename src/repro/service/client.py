@@ -1,0 +1,178 @@
+"""Blocking client of the legalization service.
+
+:class:`ServiceClient` is a thin request/response wrapper over the frame
+protocol — one TCP connection, one outstanding request at a time (the
+daemon happily serves many *clients* concurrently; a single client
+wanting pipeline parallelism opens more connections, all addressing the
+same session by name).  Error envelopes surface as :class:`ServiceError`
+with the structured code preserved, so callers switch on
+``exc.code == "busy"`` instead of parsing messages.
+
+The tests, the service benchmark and the ``repro submit`` CLI all drive
+the daemon through this class; :class:`SessionHandle` adds the
+per-session conveniences (apply/stats/repack/close) plus
+:meth:`SessionHandle.verify`, the client-side bit-for-bit check against
+an offline replay of the served ledger.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.designio.serialize import layout_fingerprint, layout_to_dict
+from repro.geometry.layout import Layout
+from repro.incremental.deltas import Delta, DeltaBatch
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.service.session import SessionConfig, offline_replay
+
+
+class ServiceError(Exception):
+    """A structured error response from the daemon."""
+
+    def __init__(self, code: str, message: str, op: str = "?") -> None:
+        super().__init__(f"{op}: [{code}] {message}")
+        self.code = code
+        self.op = op
+        self.detail = message
+
+
+def _encode_batch(batch: Sequence[Union[Delta, Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    return [d.to_dict() if isinstance(d, Delta) else d for d in batch]
+
+
+class ServiceClient:
+    """One connection to a ``repro serve`` daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: Optional[float] = 60.0) -> None:
+        self.address = (host, port)
+        self._sock = socket.create_connection(self.address, timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and return the (successful) response payload."""
+        payload = {"op": op}
+        payload.update(fields)
+        send_frame(self._sock, payload)
+        try:
+            response = recv_frame(self._sock, max_bytes=MAX_FRAME_BYTES)
+        except ConnectionClosed:
+            raise ServiceError(
+                "bad_frame", "daemon closed the connection", op
+            ) from None
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                str(error.get("code", "internal")),
+                str(error.get("message", "unspecified error")),
+                op,
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def shutdown(self, *, drain: bool = True) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit."""
+        return self.request("shutdown", drain=drain)
+
+    def open_session(
+        self,
+        design: Union[Layout, Dict[str, Any]],
+        *,
+        session: Optional[str] = None,
+        config: Optional[Union[SessionConfig, Dict[str, Any]]] = None,
+    ) -> "SessionHandle":
+        """Open a session for ``design`` and return its handle."""
+        design_dict = (
+            layout_to_dict(design) if isinstance(design, Layout) else design
+        )
+        config_dict: Dict[str, Any] = {}
+        if isinstance(config, SessionConfig):
+            config_dict = {k: v for k, v in config.to_dict().items() if v is not None}
+        elif config:
+            config_dict = dict(config)
+        fields: Dict[str, Any] = {"design": design_dict, "config": config_dict}
+        if session is not None:
+            fields["session"] = session
+        response = self.request("open_session", **fields)
+        return SessionHandle(self, response["session"], design_dict, response)
+
+    def attach(self, session: str) -> "SessionHandle":
+        """Handle for a session opened elsewhere (no design: no verify)."""
+        return SessionHandle(self, session, None, {})
+
+
+class SessionHandle:
+    """Client-side face of one open session."""
+
+    def __init__(self, client: ServiceClient, name: str,
+                 design: Optional[Dict[str, Any]], opened: Dict[str, Any]) -> None:
+        self.client = client
+        self.name = name
+        self.design = design
+        self.opened = opened
+
+    def apply(self, batch: Union[DeltaBatch, Sequence[Dict[str, Any]]], *,
+              wait: bool = True) -> Dict[str, Any]:
+        """Apply one delta batch (deltas or their JSON dict spelling)."""
+        return self.client.request(
+            "apply_deltas", session=self.name,
+            deltas=_encode_batch(batch), wait=wait,
+        )
+
+    def stats(self, *, wait: bool = False) -> Dict[str, Any]:
+        """Session counters; ``wait`` barriers the queue first."""
+        return self.client.request("stats", session=self.name, wait=wait)
+
+    def repack(self, *, wait: bool = False) -> Dict[str, Any]:
+        """Schedule (or, with ``wait``, run) a repack behind the queue."""
+        return self.client.request("repack", session=self.name, wait=wait)
+
+    def close(self, *, return_layout: bool = False,
+              return_ledger: bool = True) -> Dict[str, Any]:
+        """Close the session and return its final state (+ ledger)."""
+        return self.client.request(
+            "close_session", session=self.name,
+            return_layout=return_layout, return_ledger=return_ledger,
+        )
+
+    def verify(self, final: Dict[str, Any]) -> bool:
+        """Client-side exactness check of a ``close()`` response.
+
+        Replays the served ledger offline through a fresh engine built
+        from the design and config this handle opened with, and compares
+        placement fingerprints.  True iff the daemon's result is
+        bit-for-bit what a private engine would have produced.
+        """
+        if self.design is None:
+            raise ValueError("verify() needs the design; this handle attached blind")
+        config_dict = {
+            k: v for k, v in (final.get("config") or {}).items() if v is not None
+        }
+        replayed = offline_replay(
+            self.design, final.get("ledger") or [], SessionConfig(**config_dict)
+        )
+        return layout_fingerprint(replayed) == final.get("fingerprint")

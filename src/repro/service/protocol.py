@@ -1,0 +1,206 @@
+"""Wire protocol of the legalization service.
+
+Framing
+-------
+Every message — request or response — is one *frame*::
+
+    +----------+----------------+------------------------+
+    |  b"RPRO" | length (u32 BE)| UTF-8 JSON payload     |
+    +----------+----------------+------------------------+
+
+The 4-byte magic makes accidental clients (an HTTP probe, a stray
+``nc``) detectable as *malformed frames* rather than absurd lengths; the
+length is the payload byte count and is capped (:data:`MAX_FRAME_BYTES`
+by default) so one client cannot make the daemon buffer gigabytes.
+
+Envelopes
+---------
+A request is a JSON object ``{"op": <name>, ...fields}``.  Responses
+echo the op and carry either the result::
+
+    {"ok": true, "op": "apply_deltas", ...result fields}
+
+or a structured error::
+
+    {"ok": false, "op": "apply_deltas",
+     "error": {"code": "unknown_session", "message": "..."}}
+
+Error codes are a closed set (:data:`ERROR_CODES`); clients switch on
+``code``, never on message text.  Protocol-level failures (bad magic,
+oversized frame, invalid JSON) are answered with a best-effort error
+frame and the connection is closed; request-level failures (unknown op,
+bad session, invalid deltas, admission rejections) keep the connection
+open — the session and every other session stay usable.
+
+The payload of ``apply_deltas`` reuses the ECO delta JSON spelling from
+:mod:`repro.incremental.deltas` verbatim: the delta stream format *is*
+the wire format.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+#: Protocol identity, sent back by ``ping`` and checked by clients.
+PROTOCOL_VERSION = 1
+
+#: Frame magic ("RePRO").
+MAGIC = b"RPRO"
+
+#: Default cap on one frame's JSON payload (requests *and* responses).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct("!4sI")
+
+#: The closed set of structured error codes.
+ERROR_CODES = frozenset(
+    {
+        "bad_frame",  # wrong magic / truncated header: connection is dropped
+        "payload_too_large",  # declared length exceeds the frame cap
+        "bad_json",  # payload is not valid JSON / not an object
+        "bad_request",  # missing or ill-typed request fields
+        "unknown_op",  # op name not in the dispatch table
+        "unknown_session",  # session id never existed
+        "session_closed",  # session id was valid but has been closed
+        "session_limit",  # admission control: max open sessions reached
+        "busy",  # admission control: max in-flight batches reached
+        "invalid_deltas",  # batch failed validation; session unchanged
+        "session_failed",  # session died on an internal error earlier
+        "shutting_down",  # daemon is draining; no new work accepted
+        "internal",  # unexpected server-side exception
+    }
+)
+
+
+class ProtocolError(Exception):
+    """A violation of the framing or envelope rules.
+
+    ``code`` is one of :data:`ERROR_CODES`; ``fatal`` marks violations
+    after which the connection byte stream cannot be trusted (the server
+    answers with a best-effort error frame, then drops the connection).
+    """
+
+    def __init__(self, code: str, message: str, *, fatal: bool = False) -> None:
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+        self.fatal = fatal
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the connection cleanly between frames."""
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise on EOF.
+
+    EOF on the first byte is a clean close (:class:`ConnectionClosed`);
+    EOF mid-message means the peer vanished mid-frame and surfaces as a
+    fatal :class:`ProtocolError` so half-written requests are never
+    half-processed.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count and not chunks:
+                raise ConnectionClosed("peer closed the connection")
+            raise ProtocolError(
+                "bad_frame",
+                f"connection closed mid-frame ({count - remaining}/{count} bytes)",
+                fatal=True,
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Serialize ``payload`` and send it as one frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "payload_too_large",
+            f"outgoing frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}",
+        )
+    sock.sendall(_HEADER.pack(MAGIC, len(body)) + body)
+
+
+def recv_frame(
+    sock: socket.socket, *, max_bytes: int = MAX_FRAME_BYTES
+) -> Dict[str, Any]:
+    """Receive one frame and return its decoded JSON object.
+
+    Raises :class:`ConnectionClosed` on a clean close between frames and
+    :class:`ProtocolError` on every framing violation — bad magic and
+    oversized declarations are *fatal* (the stream position is lost or
+    the body was never read), undecodable payloads are not (the frame
+    was fully consumed, so the next frame can still be served).
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    magic, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(
+            "bad_frame", f"bad frame magic {magic!r} (expected {MAGIC!r})", fatal=True
+        )
+    if length > max_bytes:
+        raise ProtocolError(
+            "payload_too_large",
+            f"declared frame length {length} exceeds the {max_bytes}-byte cap",
+            fatal=True,
+        )
+    body = _recv_exact(sock, length) if length else b""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad_json", f"frame payload is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad_json", f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Envelope helpers
+# ----------------------------------------------------------------------
+def ok_response(op: str, **fields: Any) -> Dict[str, Any]:
+    """Build a success envelope for ``op``."""
+    out: Dict[str, Any] = {"ok": True, "op": op}
+    out.update(fields)
+    return out
+
+
+def error_response(op: Optional[str], code: str, message: str) -> Dict[str, Any]:
+    """Build a structured error envelope."""
+    assert code in ERROR_CODES, code
+    return {
+        "ok": False,
+        "op": op or "?",
+        "error": {"code": code, "message": message},
+    }
+
+
+def request_field(request: Dict[str, Any], name: str, types, *, required: bool = True,
+                  default: Any = None) -> Any:
+    """Fetch and type-check one request field, or raise ``bad_request``."""
+    if name not in request:
+        if required:
+            raise ProtocolError("bad_request", f"request is missing the {name!r} field")
+        return default
+    value = request[name]
+    if not isinstance(value, types):
+        wanted = (
+            "/".join(t.__name__ for t in types)
+            if isinstance(types, tuple)
+            else types.__name__
+        )
+        raise ProtocolError(
+            "bad_request",
+            f"request field {name!r} must be {wanted}, got {type(value).__name__}",
+        )
+    return value
