@@ -9,8 +9,12 @@ and then calls::
 which fails (exit code 1) when any benchmark's mean time is more than
 ``--threshold`` (default 20 %) slower than the committed baseline
 (``benchmarks/bench_baseline.json``).  Faster runs and new benchmarks
-never fail; benchmarks that disappeared from the run are warned about,
-so a renamed bench cannot silently drop out of regression coverage.
+never fail; benchmarks that disappeared from the run *fail*, so a
+renamed bench cannot silently drop out of regression coverage (remove
+stale baseline entries with ``--update``).  Side-payload gates
+(``--eco-soak`` / ``--mp-sweep`` / ``--service``) likewise fail loudly
+when their ``BENCH_*.json`` file is missing, empty, corrupt, or lacks a
+required section — an aborted benchmark must never read as a pass.
 
 After an intentional performance change (or a runner-hardware change),
 refresh the baseline with::
@@ -34,9 +38,49 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "bench_baseline.json"
 DEFAULT_THRESHOLD = 0.20
 
 
+class PayloadError(ValueError):
+    """A gate payload that cannot be trusted (missing, empty, or corrupt)."""
+
+
+def load_payload(path: Path, required: tuple, kind: str) -> dict:
+    """Load a ``BENCH_*.json`` gate payload, refusing to pass silently.
+
+    An unreadable, empty, or structurally incomplete payload means the
+    benchmark that writes it crashed or was skipped — that must fail the
+    gate, not sail through ``dict.get`` defaults.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PayloadError(
+            f"{path}:{exc.lineno}: invalid JSON in {kind} payload: {exc.msg}"
+        ) from None
+    if not isinstance(payload, dict) or not payload:
+        raise PayloadError(
+            f"{path}: empty or non-object {kind} payload — the benchmark "
+            "that writes it did not complete"
+        )
+    missing = [key for key in required if key not in payload]
+    if missing:
+        raise PayloadError(
+            f"{path}: {kind} payload is missing required section(s) "
+            f"{', '.join(sorted(missing))} — refusing to pass the gate on "
+            "an incomplete run"
+        )
+    return payload
+
+
 def load_means(benchmark_json: Path) -> dict:
     """Extract ``{benchmark name: mean seconds}`` from pytest-benchmark output."""
-    data = json.loads(benchmark_json.read_text(encoding="utf-8"))
+    if not benchmark_json.exists():
+        raise PayloadError(f"{benchmark_json}: benchmark output file missing")
+    try:
+        data = json.loads(benchmark_json.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PayloadError(
+            f"{benchmark_json}:{exc.lineno}: invalid JSON in benchmark "
+            f"output: {exc.msg}"
+        ) from None
     means = {}
     for bench in data.get("benchmarks", []):
         stats = bench.get("stats") or {}
@@ -64,7 +108,12 @@ def compare(current: dict, baseline: dict, threshold: float) -> int:
             regressions += 1
         print(f"{name.ljust(width)}  {base:12.6f}  {mean:12.6f}  {ratio:5.2f}x{flag}")
     for name in sorted(set(baseline) - set(current)):
-        print(f"{name.ljust(width)}  missing from this run (baseline kept)")
+        print(
+            f"{name.ljust(width)}  MISSING from this run — a baselined bench "
+            "was renamed or dropped (refresh with --update)",
+            file=sys.stderr,
+        )
+        regressions += 1
     return regressions
 
 
@@ -78,8 +127,17 @@ def check_eco_soak(soak_json: Path, max_drift: float, min_speedup: float) -> int
     ending *better* than from-scratch is never a failure), or when the
     estimated incremental speedup fell below ``min_speedup``.
     """
-    payload = json.loads(soak_json.read_text(encoding="utf-8"))
+    payload = load_payload(soak_json, ("final", "trajectory"), "eco soak")
     final = payload["final"]
+    if not isinstance(final, dict) or "drift_vs_full" not in final:
+        raise PayloadError(
+            f"{soak_json}: eco soak 'final' section lacks drift_vs_full — "
+            "the soak did not finish"
+        )
+    if not payload["trajectory"]:
+        raise PayloadError(
+            f"{soak_json}: eco soak trajectory is empty — no batches ran"
+        )
     drift = float(final["drift_vs_full"])
     speedup = float(final.get("speedup_estimate", float("inf")))
     failures = 0
@@ -123,8 +181,12 @@ def check_mp_sweep(sweep_json: Path, min_speedup: float, min_cores: int = 4) -> 
     recorded on fewer than ``min_cores`` cores — a 1-core container can
     only measure overhead, not parallel speedup.
     """
-    payload = json.loads(sweep_json.read_text(encoding="utf-8"))
-    cpu_count = int(payload.get("cpu_count", 0))
+    payload = load_payload(sweep_json, ("cpu_count", "rows"), "mp sweep")
+    if not payload["rows"]:
+        raise PayloadError(
+            f"{sweep_json}: mp sweep payload has no rows — the sweep did not run"
+        )
+    cpu_count = int(payload["cpu_count"])
     design = payload.get("design", "?")
     if cpu_count < min_cores:
         print(
@@ -176,11 +238,26 @@ def check_service(service_json: Path, max_p95: float, min_throughput: float) -> 
     they catch a serialized-to-death daemon, not runner jitter; the
     mismatch count is the strict part.
     """
-    payload = json.loads(service_json.read_text(encoding="utf-8"))
-    mismatches = int(payload.get("mismatches", 0))
-    failed = int(payload.get("failed_batches", 0))
-    p95 = float(payload.get("latency", {}).get("p95_s", 0.0))
-    throughput = float(payload.get("throughput_batches_per_s", 0.0))
+    payload = load_payload(
+        service_json,
+        ("mismatches", "failed_batches", "latency",
+         "throughput_batches_per_s", "per_session"),
+        "service",
+    )
+    if "p95_s" not in (payload["latency"] or {}):
+        raise PayloadError(
+            f"{service_json}: service latency section lacks p95_s — "
+            "no requests were timed"
+        )
+    if not payload["per_session"]:
+        raise PayloadError(
+            f"{service_json}: service payload has no per-session rows — "
+            "no sessions completed"
+        )
+    mismatches = int(payload["mismatches"])
+    failed = int(payload["failed_batches"])
+    p95 = float(payload["latency"]["p95_s"])
+    throughput = float(payload["throughput_batches_per_s"])
     print(
         f"service: {payload.get('clients', '?')} clients x "
         f"{payload.get('batches_per_client', '?')} batches, "
@@ -280,27 +357,35 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     soak_failures = 0
-    if args.eco_soak is not None:
-        if not args.eco_soak.exists():
-            print(f"eco soak payload {args.eco_soak} missing", file=sys.stderr)
-            return 1
-        soak_failures = check_eco_soak(
-            args.eco_soak, args.max_eco_drift, args.min_eco_speedup
-        )
-    if args.mp_sweep is not None:
-        if not args.mp_sweep.exists():
-            print(f"mp sweep payload {args.mp_sweep} missing", file=sys.stderr)
-            return 1
-        soak_failures += check_mp_sweep(args.mp_sweep, args.min_mp_speedup)
-    if args.service is not None:
-        if not args.service.exists():
-            print(f"service payload {args.service} missing", file=sys.stderr)
-            return 1
-        soak_failures += check_service(
-            args.service, args.max_service_p95, args.min_service_throughput
-        )
+    try:
+        if args.eco_soak is not None:
+            if not args.eco_soak.exists():
+                print(f"eco soak payload {args.eco_soak} missing", file=sys.stderr)
+                return 1
+            soak_failures = check_eco_soak(
+                args.eco_soak, args.max_eco_drift, args.min_eco_speedup
+            )
+        if args.mp_sweep is not None:
+            if not args.mp_sweep.exists():
+                print(f"mp sweep payload {args.mp_sweep} missing", file=sys.stderr)
+                return 1
+            soak_failures += check_mp_sweep(args.mp_sweep, args.min_mp_speedup)
+        if args.service is not None:
+            if not args.service.exists():
+                print(f"service payload {args.service} missing", file=sys.stderr)
+                return 1
+            soak_failures += check_service(
+                args.service, args.max_service_p95, args.min_service_throughput
+            )
+    except PayloadError as exc:
+        print(f"gate payload REGRESSION: {exc}", file=sys.stderr)
+        return 1
 
-    current = load_means(args.benchmark_json)
+    try:
+        current = load_means(args.benchmark_json)
+    except PayloadError as exc:
+        print(f"gate payload REGRESSION: {exc}", file=sys.stderr)
+        return 1
     if not current:
         print(f"no benchmark timings found in {args.benchmark_json}", file=sys.stderr)
         return 1

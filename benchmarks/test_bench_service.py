@@ -27,6 +27,7 @@ import numpy as np
 from repro.benchgen import EcoSpec, generate_eco_stream
 from repro.designio import layout_fingerprint, layout_to_dict
 from repro.incremental import IncrementalLegalizer
+from repro.obs.metrics import find_series, histogram_quantile
 from repro.service import (
     LegalizationServer,
     ServeConfig,
@@ -110,9 +111,36 @@ def run_service_bench():
         for t in threads:
             t.join()
         wall = time.perf_counter() - wall_start
+        # One live scrape before teardown: the daemon's own view of the
+        # run via the metrics op (the registry is process-global, so the
+        # absolute values are floors, not exact per-run counts).
+        with ServiceClient(host, port, timeout=30.0) as scraper:
+            scrape = scraper.metrics()["metrics"]
     finally:
         server.close()
     assert not errors, "; ".join(errors)
+
+    op_hist = find_series(
+        scrape, "histograms", "repro_op_latency_seconds", op="apply_deltas"
+    )
+    wait_hist = find_series(scrape, "histograms", "repro_queue_wait_seconds")
+    daemon_metrics = {
+        "apply_deltas_requests": sum(
+            c["value"]
+            for c in scrape["counters"]
+            if c["name"] == "repro_requests_total"
+            and c["labels"].get("op") == "apply_deltas"
+        ),
+        "apply_deltas_p95_s": histogram_quantile(op_hist, 0.95) if op_hist else 0.0,
+        "queue_wait_p95_s": histogram_quantile(wait_hist, 0.95) if wait_hist else 0.0,
+        "coalesced_batches_total": sum(
+            c["value"]
+            for c in scrape["counters"]
+            if c["name"] == "repro_session_coalesced_batches_total"
+        ),
+    }
+    assert daemon_metrics["apply_deltas_requests"] >= CLIENTS * BATCHES_PER_CLIENT
+    assert op_hist is not None and op_hist["count"] >= CLIENTS * BATCHES_PER_CLIENT
 
     # The exactness audit: replay every session's ledger offline.
     per_session = []
@@ -161,6 +189,7 @@ def run_service_bench():
         "failed_batches": sum(s["failed_batches"] for s in per_session),
         "max_drift": max(s["drift"] for s in per_session),
         "governor_budget": SESSION_CONFIG["max_avedis_drift"],
+        "daemon_metrics": daemon_metrics,
     }
     return payload
 
@@ -190,6 +219,14 @@ def test_bench_service_concurrent_clients(benchmark):
             f"repacks={row['repacks']} dispatches={row['dispatches']} "
             f"coalesced={row['coalesced_batches']}"
         )
+
+    dm = payload["daemon_metrics"]
+    print(
+        f"  daemon: {dm['apply_deltas_requests']:.0f} apply_deltas requests, "
+        f"op p95 {dm['apply_deltas_p95_s'] * 1e3:.1f}ms, "
+        f"queue-wait p95 {dm['queue_wait_p95_s'] * 1e3:.1f}ms, "
+        f"coalesced {dm['coalesced_batches_total']:.0f}"
+    )
 
     # The headline contract, asserted in-bench as well as by the CI gate.
     assert payload["mismatches"] == 0, (

@@ -1,6 +1,6 @@
 """``repro`` console entry point: drive the system without writing Python.
 
-Five subcommands cover the daily workflows::
+These subcommands cover the daily workflows::
 
     repro legalize design.json [-o out.json] [--backend numpy]
         Load a design (JSON or .cells), legalize it, verify legality,
@@ -35,6 +35,16 @@ Five subcommands cover the daily workflows::
         it, print one summary line per batch, close the session — and
         with ``--verify`` replay the served ledger offline and assert
         the daemon's final placement is bit-for-bit identical.
+
+    repro top [--host ... --port ...] [--interval 2.0] [--once] [--prometheus]
+        Live dashboard over a running daemon's ``metrics`` op: server
+        gauges (sessions, in-flight), per-op request counts and latency
+        quantiles, per-session queue depth and engine counters.
+        ``--prometheus`` dumps the raw exposition text instead.
+
+    repro trace spans.jsonl [--session NAME] [--run ID]
+        Fold a ``REPRO_TRACE`` span log (JSONL emitted by
+        :mod:`repro.obs`) into a per-phase wall-time timeline table.
 
 The module is installed as the ``repro`` console script via
 ``[project.scripts]`` and is equally runnable as ``python -m repro``.
@@ -389,6 +399,109 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return status
 
 
+def _print_top(response: dict) -> None:
+    """Render one ``metrics`` scrape as the ``repro top`` dashboard."""
+    from repro.obs.metrics import histogram_quantile
+    from repro.perf.report import format_table
+
+    server = response.get("server", {})
+    draining = " (draining)" if server.get("draining") else ""
+    print(f"server       : {server.get('sessions', 0)}/{server.get('max_sessions', '?')} "
+          f"sessions, {server.get('inflight', 0)}/{server.get('max_inflight', '?')} "
+          f"in-flight{draining}")
+
+    snapshot = response.get("metrics", {})
+    requests: dict = {}
+    for counter in snapshot.get("counters", []):
+        if counter["name"] != "repro_requests_total":
+            continue
+        labels = dict(counter["labels"])
+        entry = requests.setdefault(labels.get("op", "?"), {"total": 0.0, "errors": 0.0})
+        entry["total"] += counter["value"]
+        if labels.get("status") != "ok":
+            entry["errors"] += counter["value"]
+    latencies = {}
+    for hist in snapshot.get("histograms", []):
+        if hist["name"] == "repro_op_latency_seconds":
+            latencies[dict(hist["labels"]).get("op", "?")] = hist
+    rows = []
+    for op in sorted(set(requests) | set(latencies)):
+        entry = requests.get(op, {"total": 0.0, "errors": 0.0})
+        hist = latencies.get(op)
+        mean = hist["sum"] / hist["count"] if hist and hist["count"] else 0.0
+        rows.append([
+            op,
+            int(entry["total"]),
+            int(entry["errors"]),
+            mean,
+            histogram_quantile(hist, 0.5) if hist else 0.0,
+            histogram_quantile(hist, 0.95) if hist else 0.0,
+        ])
+    if rows:
+        print(format_table(
+            ["op", "count", "errors", "mean_s", "p50_s", "p95_s"],
+            rows, float_format="{:.4f}",
+        ))
+
+    for name, info in sorted(response.get("sessions", {}).items()):
+        engine = info.get("engine", {})
+        print(f"session {name}: queue={info.get('queue_depth', 0)} "
+              f"dispatches={info.get('dispatches', 0)} "
+              f"coalesced={info.get('coalesced_batches', 0)} "
+              f"failed={info.get('failed_batches', 0)} "
+              f"batches={engine.get('batches', 0)} "
+              f"repacks={engine.get('repacks_total', 0)} "
+              f"engine_wall={engine.get('wall_seconds', 0.0):.3f}s")
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    try:
+        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        raise ValueError(
+            f"cannot reach daemon at {args.host}:{args.port}: {exc}"
+        ) from None
+    with client:
+        try:
+            while True:
+                response = client.metrics(
+                    format="prometheus" if args.prometheus else None
+                )
+                if args.prometheus:
+                    print(response["text"], end="", flush=True)
+                else:
+                    _print_top(response)
+                if args.once:
+                    return 0
+                print(flush=True)
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import load_events
+    from repro.perf.report import span_timeline_table
+
+    events = load_events(args.log)
+    if args.session is not None:
+        events = [e for e in events if e.get("session") == args.session]
+    if args.run is not None:
+        events = [e for e in events if e.get("run") == args.run]
+    spans = sum(1 for e in events if e.get("ev") == "span")
+    points = sum(1 for e in events if e.get("ev") == "event")
+    print(f"span log     : {args.log} — {spans} spans, {points} events")
+    if not spans:
+        print("no span records matched; was the log written with "
+              f"REPRO_TRACE set{' / the given filter' if args.session or args.run else ''}?",
+              file=sys.stderr)
+        return 1
+    print(span_timeline_table(events))
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -515,6 +628,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--shutdown", action="store_true",
                        help="ask the daemon to drain and exit afterwards")
     p_sub.set_defaults(func=cmd_submit)
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard over a running daemon's metrics op"
+    )
+    p_top.add_argument("--host", default="127.0.0.1", help="daemon address")
+    p_top.add_argument("--port", type=int, default=7733, help="daemon port")
+    p_top.add_argument("--timeout", type=float, default=10.0,
+                       help="per-request socket timeout in seconds")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="refresh period in seconds (default 2.0)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit (for scripts/CI)")
+    p_top.add_argument("--prometheus", action="store_true",
+                       help="print the Prometheus exposition text instead of "
+                            "the dashboard")
+    p_top.set_defaults(func=cmd_top)
+
+    p_trace = sub.add_parser(
+        "trace", help="fold a REPRO_TRACE span log into a per-phase timeline"
+    )
+    p_trace.add_argument("log", type=Path, help="span log (JSONL) to aggregate")
+    p_trace.add_argument("--session", default=None,
+                         help="only events carrying this session id")
+    p_trace.add_argument("--run", default=None,
+                         help="only events carrying this run id")
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

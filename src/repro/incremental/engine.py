@@ -55,6 +55,9 @@ from repro.incremental.deltas import (
 )
 from repro.kernels import BackendSpec
 from repro.mgl.legalizer import LegalizationResult, MGLLegalizer
+from repro.obs import event as obs_event
+from repro.obs import metrics as obs_metrics
+from repro.obs import span
 from repro.perf.counters import IncrementalStats, LegalizationTrace
 
 #: Default dirty fraction above which a full re-legalization is cheaper
@@ -707,34 +710,62 @@ class IncrementalLegalizer:
             dirty_fraction > self.full_threshold or self.full_threshold == 0.0
         )
         fragmentation = 0.0
-        if force_full:
-            mode = "full"
-            layout.reset_positions()
-            result = self.legalizer.legalize(layout)
-            # A full reset re-derives every placement from its global
-            # position — exactly what a repack produces — so it refreshes
-            # the baseline (but is not counted as a governor repack).
-            self._refresh_baseline(result.stats.average_displacement)
-            fragmentation = self._baseline_frag  # just snapshotted from this state
-        elif (
-            self.repack_every is not None
-            and self.batches_since_repack >= self.repack_every
-        ):
-            mode, repack_reason = "repack", "scheduled"
-            result = self._repack()
-            fragmentation = self._baseline_frag
-        else:
-            mode = "incremental"
-            result = self.legalizer.legalize_subset(layout, dirty_cells)
-            if self.track_fragmentation:
-                fragmentation = self._fragmentation()
-            reason = self._drift_reason(
-                result.stats.average_displacement, fragmentation
-            )
-            if reason:
-                mode, repack_reason = "repack", reason
+        with span(
+            "eco.batch",
+            deltas=applied.deltas_applied,
+            dirty=len(dirty_cells),
+            movable=num_movable,
+        ) as sp:
+            if force_full:
+                mode = "full"
+                layout.reset_positions()
+                result = self.legalizer.legalize(layout)
+                # A full reset re-derives every placement from its global
+                # position — exactly what a repack produces — so it refreshes
+                # the baseline (but is not counted as a governor repack).
+                self._refresh_baseline(result.stats.average_displacement)
+                fragmentation = self._baseline_frag  # just snapshotted from this state
+            elif (
+                self.repack_every is not None
+                and self.batches_since_repack >= self.repack_every
+            ):
+                mode, repack_reason = "repack", "scheduled"
+                obs_event(
+                    "eco.governor",
+                    decision="scheduled",
+                    batches_since_repack=self.batches_since_repack,
+                    repack_every=self.repack_every,
+                )
                 result = self._repack()
                 fragmentation = self._baseline_frag
+            else:
+                mode = "incremental"
+                result = self.legalizer.legalize_subset(layout, dirty_cells)
+                if self.track_fragmentation:
+                    fragmentation = self._fragmentation()
+                reason = self._drift_reason(
+                    result.stats.average_displacement, fragmentation
+                )
+                if reason:
+                    mode, repack_reason = "repack", reason
+                    # The governor decision record: the drift/fragmentation
+                    # values that tripped the budget, alongside the budgets.
+                    obs_event(
+                        "eco.governor",
+                        decision=reason,
+                        avedis=result.stats.average_displacement,
+                        baseline_avedis=self._baseline_avedis,
+                        fragmentation=fragmentation,
+                        baseline_fragmentation=self._baseline_frag,
+                        max_avedis_drift=self.max_avedis_drift,
+                        max_fragmentation_drift=self.max_fragmentation_drift,
+                    )
+                    result = self._repack()
+                    fragmentation = self._baseline_frag
+            sp.set(mode=mode, repack_reason=repack_reason)
+        obs_metrics.inc("repro_eco_batches_total", mode=mode)
+        if repack_reason:
+            obs_metrics.inc("repro_eco_repacks_total", reason=repack_reason)
 
         self._last_displacement = result.stats
         avedis = result.stats.average_displacement
@@ -759,6 +790,7 @@ class IncrementalLegalizer:
             repacks_total=self.repacks_total,
             batches_since_repack=self.batches_since_repack,
         )
+        obs_metrics.observe("repro_eco_batch_seconds", stats.wall_seconds, mode=mode)
         self.history.append(stats)
         return IncrementalResult(legalization=result, stats=stats)
 
@@ -781,7 +813,9 @@ class IncrementalLegalizer:
             )
         start = time.perf_counter()
         num_movable = len(self.layout.movable_cells())
-        result = self._repack()
+        with span("eco.repack", reason="requested"):
+            result = self._repack()
+        obs_metrics.inc("repro_eco_repacks_total", reason="requested")
         self._last_displacement = result.stats
         avedis = result.stats.average_displacement
         stats = IncrementalStats(

@@ -74,6 +74,8 @@ from multiprocessing import connection as mp_connection
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.kernels.base import KernelBackend
+from repro.obs import metrics as obs_metrics
+from repro.obs import span
 
 #: Environment variable overriding the default worker count (used by the
 #: CI equivalence matrix to sweep pool sizes without code changes).
@@ -294,14 +296,24 @@ def _pool_worker(conn) -> None:
     optional shared-memory catch-up built by
     :meth:`repro.kernels.shm.SharedCellStore.build_sync` (piggybacked on
     the first task after each publish).  Every task gets exactly one
-    reply: ``("ok", result)`` or ``("err", traceback_text)`` — keeping
-    the pipe protocol in lock-step even when a task raises, so one bad
-    shard cannot wedge the pool.
+    reply: ``("ok", result, telemetry)`` or ``("err", traceback_text,
+    telemetry)`` — keeping the pipe protocol in lock-step even when a
+    task raises, so one bad shard cannot wedge the pool.  ``telemetry``
+    is the worker's drained metrics-registry snapshot (per-task wall
+    time, shm refresh counters; ``None`` when empty): the parent merges
+    it into the process-wide registry, which is how worker-side metrics
+    surface without any side channel.
     """
+    import time as _time
     import traceback
 
     from repro.kernels.shm import WorkerLayoutMirror
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import span
 
+    # The fork copied the parent's registry contents; forget them so the
+    # drained deltas below never re-ship what the parent already has.
+    obs_metrics.REGISTRY.reset()
     mirror = WorkerLayoutMirror()
     legalizer = None
     try:
@@ -310,32 +322,39 @@ def _pool_worker(conn) -> None:
             if message is None:
                 return
             kind, sync, payload = message
+            task_start = _time.perf_counter()
             try:
-                if sync is not None:
-                    blob = sync.pop("legalizer", None)
-                    if blob is not None:
-                        legalizer = pickle.loads(blob)
-                    mirror.apply_sync(sync)
-                elif kind == "shard" and mirror.stale:
-                    # A second shard at the same epoch: reset the mirror
-                    # to the published state (shards are window-disjoint,
-                    # but placements must be computed against the run's
-                    # initial layout, not a sibling shard's output).
-                    mirror.refresh()
-                if kind == "shard":
-                    mirror.stale = True
-                    result = _execute_shard(mirror.layout, legalizer, payload)
-                elif kind == "wave":
-                    mirror.stale = True
-                    result = _evaluate_wave(mirror.layout, legalizer, payload)
-                elif kind == "points":
-                    result = _evaluate_points(payload)
-                else:
-                    raise ValueError(f"unknown pool task {kind!r}")
+                with span("mp.worker_task", kind=kind):
+                    if sync is not None:
+                        blob = sync.pop("legalizer", None)
+                        if blob is not None:
+                            legalizer = pickle.loads(blob)
+                        mirror.apply_sync(sync)
+                    elif kind == "shard" and mirror.stale:
+                        # A second shard at the same epoch: reset the mirror
+                        # to the published state (shards are window-disjoint,
+                        # but placements must be computed against the run's
+                        # initial layout, not a sibling shard's output).
+                        mirror.refresh()
+                    if kind == "shard":
+                        mirror.stale = True
+                        result = _execute_shard(mirror.layout, legalizer, payload)
+                    elif kind == "wave":
+                        mirror.stale = True
+                        result = _evaluate_wave(mirror.layout, legalizer, payload)
+                    elif kind == "points":
+                        result = _evaluate_points(payload)
+                    else:
+                        raise ValueError(f"unknown pool task {kind!r}")
             except BaseException:
-                conn.send(("err", traceback.format_exc()))
+                conn.send(("err", traceback.format_exc(), obs_metrics.REGISTRY.drain()))
                 continue
-            conn.send(("ok", result))
+            obs_metrics.observe(
+                "repro_worker_task_seconds",
+                _time.perf_counter() - task_start,
+                kind=kind,
+            )
+            conn.send(("ok", result, obs_metrics.REGISTRY.drain()))
     except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover - parent died
         return
     finally:
@@ -590,11 +609,13 @@ class MultiprocessKernelBackend(KernelBackend):
 
         if hasattr(worker_legalizer, "ordering"):
             worker_legalizer.ordering = size_descending_order
-        blob = pickle.dumps(worker_legalizer, pickle.HIGHEST_PROTOCOL)
-        state.store.publish(layout)
-        if blob != state.legalizer_blob:
-            state.legalizer_blob = blob
-            state.legalizer_rev += 1
+        with span("mp.publish") as sp:
+            blob = pickle.dumps(worker_legalizer, pickle.HIGHEST_PROTOCOL)
+            state.store.publish(layout)
+            if blob != state.legalizer_blob:
+                state.legalizer_blob = blob
+                state.legalizer_rev += 1
+            sp.set(epoch=state.store.epoch, n_cells=state.store.n_cells)
 
     def _send_task(
         self, state: _PoolState, worker: _PoolWorkerHandle, kind: str, payload
@@ -613,14 +634,20 @@ class MultiprocessKernelBackend(KernelBackend):
         worker.conn.send((kind, sync, payload))
 
     def _recv_reply(self, worker: _PoolWorkerHandle):
-        """Receive one task reply; tear the pool down on transport death."""
+        """Receive one task reply; tear the pool down on transport death.
+
+        Every reply piggybacks the worker's drained metrics snapshot;
+        merging it here (on both the ok and the err path) is what makes
+        worker-side wall times visible in the process-wide registry.
+        """
         try:
-            status, payload = worker.conn.recv()
+            status, payload, telemetry = worker.conn.recv()
         except (EOFError, OSError) as exc:
             self.close()
             raise RuntimeError(
                 "multiprocess pool worker died mid-task; pool torn down"
             ) from exc
+        obs_metrics.REGISTRY.merge(telemetry)
         if status == "err":
             raise _WorkerTaskError(payload)
         return payload
@@ -732,6 +759,7 @@ class MultiprocessKernelBackend(KernelBackend):
                     state, worker, "points", (blob, [p for g in share for p in groups[g]])
                 )
             self._point_parallel_regions += 1
+            obs_metrics.inc("repro_mp_point_regions_total")
 
             place(
                 shares[0],
@@ -797,9 +825,13 @@ class MultiprocessKernelBackend(KernelBackend):
         trace.shard_stats = stats
         self._point_parallel_regions = 0
         try:
-            return self._legalize_sharded_impl(
-                legalizer, layout, ordered, trace, stats, clusters
-            )
+            with span("mp.legalize_sharded", targets=len(ordered)) as sp:
+                failed = self._legalize_sharded_impl(
+                    legalizer, layout, ordered, trace, stats, clusters
+                )
+                sp.set(mode=stats["mode"], workers=self.workers)
+            obs_metrics.inc("repro_mp_dispatches_total", mode=stats["mode"])
+            return failed
         finally:
             stats["point_parallel_regions"] = self._point_parallel_regions
             stats["pool_workers_spawned"] = self.workers_spawned
@@ -874,9 +906,10 @@ class MultiprocessKernelBackend(KernelBackend):
     # ------------------------------------------------------------------
     def _run_static(self, legalizer, layout, worker_legalizer, ordered, trace, plan, stats):
         stats["mode"] = "static" if self.use_processes else "in-process"
-        shard_results = self._execute_shards(
-            layout, worker_legalizer, plan.shard_descriptors()
-        )
+        with span("mp.shards", n_shards=len(plan.shards)):
+            shard_results = self._execute_shards(
+                layout, worker_legalizer, plan.shard_descriptors()
+            )
 
         conflicts = self._validate_static(plan, shard_results)
         stats["escaped_targets"] = len(conflicts)

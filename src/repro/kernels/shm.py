@@ -37,6 +37,9 @@ from __future__ import annotations
 import weakref
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import event as obs_event
+from repro.obs import metrics as obs_metrics
+
 try:  # optional dependency, mirrors repro.kernels.numpy_backend
     import numpy as np
 except ImportError:  # pragma: no cover - exercised on numpy-less hosts
@@ -196,6 +199,10 @@ class SharedCellStore:
             self.snapshot = snapshot_cell_state(cells)
         self.n_cells = n
         self.epoch += 1
+        obs_metrics.inc("repro_shm_publishes_total")
+        obs_event(
+            "shm.publish", epoch=self.epoch, design_rev=self.design_rev, n_cells=n
+        )
 
     # ------------------------------------------------------------------
     def build_sync(self, view) -> Dict[str, Any]:
@@ -303,6 +310,8 @@ class WorkerLayoutMirror:
         new_names = self.names[len(self.layout.cells) : self.n_cells]
         self.layout.apply_cell_arrays(columns, self.n_cells, new_names)
         self.stale = False
+        obs_metrics.inc("repro_shm_refreshes_total")
+        obs_event("shm.refresh", epoch=self.epoch, n_cells=self.n_cells)
 
     def close(self) -> None:
         if self.segment is not None:

@@ -42,6 +42,8 @@ from repro.mgl.window_planner import (
     plan_initial_window,
 )
 from repro.mgl.update import commit_placement
+from repro.obs import enabled as obs_enabled
+from repro.obs import span
 from repro.perf.counters import LegalizationTrace, TargetCellWork
 
 #: Type of a processing-ordering function: receives the layout and the
@@ -242,8 +244,9 @@ class MGLLegalizer:
         """Legalize every movable cell of the layout in place."""
         start = time.perf_counter()
         trace = self._new_trace(layout)
-        trace.premove_cells = premove(layout)
-        layout.rebuild_index()
+        with span("mgl.premove"):
+            trace.premove_cells = premove(layout)
+            layout.rebuild_index()
         pending = layout.unlegalized_cells()
         return self._legalize_pending(layout, pending, trace, start)
 
@@ -296,8 +299,9 @@ class MGLLegalizer:
                 row_radius=self.window_extra_rows,
             )
         trace = self._new_trace(layout)
-        for target in targets:
-            premove_cell(layout, target)
+        with span("mgl.premove", subset=True):
+            for target in targets:
+                premove_cell(layout, target)
         trace.premove_cells = len(targets)
         return self._legalize_pending(
             layout, list(targets), trace, start, shard_clusters=clusters
@@ -326,22 +330,29 @@ class MGLLegalizer:
     ) -> LegalizationResult:
         """Order and legalize a pending target set (shared run tail)."""
         backend = resolve_backend(self.fop_config.backend)
-        ordered = self.ordering(layout, pending)
+        with span("mgl.order", targets=len(pending)):
+            ordered = self.ordering(layout, pending)
         n = max(1, len(ordered))
         trace.ordering_ops = int(
             getattr(self.ordering, "last_op_count", n * max(1.0, math.log2(n)))
         )
 
-        if backend.supports_layout_parallel:
-            # Sharded execution across worker processes; produces results
-            # and work records bit-for-bit equal to the sequential run.
-            failed = backend.legalize_sharded(
-                self, layout, ordered, trace, clusters=shard_clusters
-            )
-        else:
-            failed = self._legalize_ordered(layout, ordered, trace)
+        with span("mgl.place", targets=len(ordered), backend=backend.name) as sp:
+            if backend.supports_layout_parallel:
+                # Sharded execution across worker processes; produces results
+                # and work records bit-for-bit equal to the sequential run.
+                failed = backend.legalize_sharded(
+                    self, layout, ordered, trace, clusters=shard_clusters
+                )
+            else:
+                failed = self._legalize_ordered(layout, ordered, trace)
+            if obs_enabled():
+                # The per-stage FOP workload split is O(targets) to fold,
+                # so it is attached to the span only when tracing is on.
+                sp.set(failed=len(failed), fop_stages=trace.fop_stage_workload())
 
-        stats = self.metrics.compute(layout)
+        with span("mgl.metrics"):
+            stats = self.metrics.compute(layout)
         return LegalizationResult(
             layout=layout,
             trace=trace,

@@ -1,0 +1,48 @@
+"""Observability: structured wall-clock spans + a live metrics registry.
+
+Two complementary instruments, both safe to leave in hot paths:
+
+* :mod:`repro.obs.spans` — ``span("eco.batch")`` context managers that
+  append JSONL events (with run/session/batch correlation ids) to a
+  trace log when enabled, and collapse to a shared no-op object when
+  not.  ``repro trace`` renders a log into a per-phase timeline.
+* :mod:`repro.obs.metrics` — a process-wide, thread-safe registry of
+  counters / gauges / fixed-bucket histograms with fork-merge semantics
+  for the multiprocess worker pool and Prometheus text exposition.  The
+  service daemon serves it live through the ``metrics`` op
+  (``repro top``).
+
+Telemetry is strictly observational: nothing in this package feeds back
+into a placement decision, so every backend stays bit-for-bit identical
+with telemetry on or off.
+"""
+
+from repro.obs import metrics
+from repro.obs.spans import (
+    ENV_VAR,
+    context,
+    current_ids,
+    disable,
+    enable,
+    enabled,
+    event,
+    load_events,
+    new_run_id,
+    read_events,
+    span,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "context",
+    "current_ids",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "load_events",
+    "metrics",
+    "new_run_id",
+    "read_events",
+    "span",
+]

@@ -1,0 +1,268 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` (:data:`REGISTRY`) aggregates operational
+metrics across the whole process — the service daemon's handler
+threads, the incremental engines behind its sessions, and the kernel
+backends below them all write to it.  Three instrument kinds:
+
+* **counters** — monotonically increasing totals
+  (``inc("repro_requests_total", op="apply_deltas")``);
+* **gauges** — last-written point-in-time values
+  (``set_gauge("repro_inflight", 3)``);
+* **histograms** — fixed-bucket latency distributions
+  (``observe("repro_op_latency_seconds", 0.012, op="stats")``), with
+  cumulative-bucket Prometheus semantics.
+
+Every operation takes labels as keyword arguments; a metric series is
+keyed by ``(name, sorted labels)``.  All mutation happens under one
+lock, so the registry is safe under the daemon's thread-per-connection
+model.
+
+Fork model
+----------
+The multiprocess kernel backend forks persistent pool workers.  Each
+worker inherits a *copy* of the registry at fork time, so workers call
+:meth:`MetricsRegistry.reset` on startup and thereafter
+:meth:`MetricsRegistry.drain` after each task: the drained delta rides
+the existing result pipe back to the parent, which folds it in with
+:meth:`MetricsRegistry.merge`.  Counters and histograms add; gauges
+last-write-win.  Snapshots are plain JSON-safe dicts, so the same
+merge path serves the service daemon's ``metrics`` op verbatim.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Default latency buckets in seconds (upper bounds; +Inf is implicit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> _Key:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Thread-safe counters, gauges and fixed-bucket histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[_Key, float] = {}
+        self._gauges: Dict[_Key, float] = {}
+        #: key -> [bucket counts (len(bounds) + 1 with +Inf), sum, count]
+        self._hists: Dict[_Key, List[Any]] = {}
+        self._hist_bounds: Dict[str, Tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._gauges[_key(name, labels)] = float(value)
+
+    def clear_gauge(self, name: str) -> None:
+        """Drop every series of a gauge (e.g. per-session depths on close)."""
+        with self._lock:
+            for key in [k for k in self._gauges if k[0] == name]:
+                del self._gauges[key]
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        buckets: Optional[Tuple[float, ...]] = None,
+        **labels: Any,
+    ) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            bounds = self._hist_bounds.setdefault(name, buckets or DEFAULT_BUCKETS)
+            hist = self._hists.get(key)
+            if hist is None:
+                hist = self._hists[key] = [[0] * (len(bounds) + 1), 0.0, 0]
+            hist[0][bisect.bisect_left(bounds, value)] += 1
+            hist[1] += value
+            hist[2] += 1
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge / drain (the fork and wire format)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe copy: lists of ``{name, labels, ...}`` series."""
+        with self._lock:
+            counters = [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self._counters.items())
+            ]
+            gauges = [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self._gauges.items())
+            ]
+            hists = [
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "bounds": list(self._hist_bounds[name]),
+                    "buckets": list(hist[0]),
+                    "sum": hist[1],
+                    "count": hist[2],
+                }
+                for (name, labels), hist in sorted(self._hists.items())
+            ]
+        return {"counters": counters, "gauges": gauges, "histograms": hists}
+
+    def merge(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Fold a snapshot in: counters/histograms add, gauges overwrite."""
+        if not snapshot:
+            return
+        with self._lock:
+            for series in snapshot.get("counters", []):
+                key = _key(series["name"], series["labels"])
+                self._counters[key] = self._counters.get(key, 0.0) + series["value"]
+            for series in snapshot.get("gauges", []):
+                self._gauges[_key(series["name"], series["labels"])] = series["value"]
+            for series in snapshot.get("histograms", []):
+                name = series["name"]
+                bounds = tuple(series["bounds"])
+                key = _key(name, series["labels"])
+                self._hist_bounds.setdefault(name, bounds)
+                hist = self._hists.get(key)
+                if hist is None:
+                    hist = self._hists[key] = [[0] * (len(bounds) + 1), 0.0, 0]
+                for i, count in enumerate(series["buckets"]):
+                    hist[0][i] += count
+                hist[1] += series["sum"]
+                hist[2] += series["count"]
+
+    def drain(self) -> Optional[Dict[str, Any]]:
+        """Snapshot-and-reset; ``None`` when there is nothing to ship."""
+        with self._lock:
+            empty = not (self._counters or self._gauges or self._hists)
+        if empty:
+            return None
+        snapshot = self.snapshot()
+        self.reset()
+        return snapshot
+
+    def reset(self) -> None:
+        """Forget everything (fork-time hygiene in pool workers)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+            self._hist_bounds.clear()
+
+
+#: The process-wide registry every instrumented layer writes to.
+REGISTRY = MetricsRegistry()
+
+# Module-level conveniences bound to the process registry.
+inc = REGISTRY.inc
+set_gauge = REGISTRY.set_gauge
+clear_gauge = REGISTRY.clear_gauge
+observe = REGISTRY.observe
+
+
+# ----------------------------------------------------------------------
+# Snapshot consumers
+# ----------------------------------------------------------------------
+def find_series(
+    snapshot: Dict[str, Any], kind: str, name: str, /, **labels: Any
+) -> Optional[Dict[str, Any]]:
+    """The first ``kind`` series of ``name`` whose labels include ``labels``."""
+    wanted = {k: str(v) for k, v in labels.items()}
+    for series in snapshot.get(kind, []):
+        if series["name"] != name:
+            continue
+        if all(series["labels"].get(k) == v for k, v in wanted.items()):
+            return series
+    return None
+
+
+def histogram_quantile(series: Dict[str, Any], q: float) -> float:
+    """Estimate a quantile from a snapshot histogram series.
+
+    Linear interpolation inside the selected bucket, like Prometheus's
+    ``histogram_quantile``; the +Inf bucket reports its lower bound.
+    """
+    count = series["count"]
+    if count <= 0:
+        return 0.0
+    bounds = series["bounds"]
+    rank = q * count
+    seen = 0
+    for i, bucket_count in enumerate(series["buckets"]):
+        if bucket_count == 0:
+            continue
+        if seen + bucket_count >= rank:
+            if i >= len(bounds):
+                return float(bounds[-1]) if bounds else 0.0
+            lo = bounds[i - 1] if i > 0 else 0.0
+            hi = bounds[i]
+            return lo + (hi - lo) * max(0.0, rank - seen) / bucket_count
+        seen += bucket_count
+    return float(bounds[-1]) if bounds else 0.0
+
+
+def prometheus_text(snapshot: Dict[str, Any]) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_types: set = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    def label_str(labels: Dict[str, str], extra: str = "") -> str:
+        parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    for series in snapshot.get("counters", []):
+        type_line(series["name"], "counter")
+        lines.append(
+            f"{series['name']}{label_str(series['labels'])} {series['value']:g}"
+        )
+    for series in snapshot.get("gauges", []):
+        type_line(series["name"], "gauge")
+        lines.append(
+            f"{series['name']}{label_str(series['labels'])} {series['value']:g}"
+        )
+    for series in snapshot.get("histograms", []):
+        name = series["name"]
+        type_line(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(series["bounds"], series["buckets"]):
+            cumulative += count
+            le = label_str(series["labels"], f'le="{bound:g}"')
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        le = label_str(series["labels"], 'le="+Inf"')
+        lines.append(f"{name}_bucket{le} {series['count']}")
+        lines.append(f"{name}_sum{label_str(series['labels'])} {series['sum']:g}")
+        lines.append(f"{name}_count{label_str(series['labels'])} {series['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

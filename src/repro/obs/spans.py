@@ -1,0 +1,283 @@
+"""Structured spans: wall-clock telemetry as a JSONL event log.
+
+The profiling story of :mod:`repro.perf` is hardware-independent work
+counters; this module is its wall-clock complement.  A *span* times one
+named phase (``with span("mgl.legalize"): ...``) and, when telemetry is
+enabled, appends one JSON line to the event log when the phase ends.
+``repro trace`` (and :func:`repro.perf.report.span_timeline`) fold a log
+back into a per-phase timeline table.
+
+Near-zero overhead is the design constraint: the spans are threaded
+through hot paths (per ECO batch, per pool dispatch), so the *disabled*
+path must cost one module-global load and one call — :func:`span`
+returns a shared no-op span object and allocates nothing.  The guard
+test in ``tests/test_obs.py`` holds the disabled path under 2% of the
+dense-bench wall time.
+
+Event-log schema (one JSON object per line)::
+
+    {"ts": 1722.03,            # event wall-clock time (time.time())
+     "ev": "span" | "event",   # timed phase vs point-in-time record
+     "name": "eco.batch",      # dotted phase name
+     "pid": 4242,              # emitting process (pool workers fork)
+     "dur_s": 0.0123,          # spans only: phase duration
+     "run": "f3a9...",         # correlation ids bound with context()
+     "session": "s1",          # (only the ids actually bound appear)
+     "batch": 7,
+     "attrs": {...}}           # free-form per-event attributes
+
+Correlation ids live in a :mod:`contextvars` variable, so they follow
+the logical flow of control across threads started with a copied
+context and into forked pool workers, and nest naturally: a service
+session binds ``session``/``batch`` around ``engine.apply`` and every
+span emitted below — engine, legalizer, kernel backend — carries them.
+
+Telemetry must never change results or take a run down: emission
+failures are swallowed, and nothing here is consulted by any placement
+decision.  Enable programmatically with :func:`enable`, or for CLI /
+bench runs via the ``REPRO_TRACE`` environment variable (a JSONL path),
+read once at import time.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+import uuid
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Environment variable naming the JSONL span-log path.
+ENV_VAR = "REPRO_TRACE"
+
+#: Correlation ids of the current logical context, as a tuple of pairs
+#: (tuples keep the ContextVar default immutable and copies cheap).
+_ids: contextvars.ContextVar = contextvars.ContextVar("repro_obs_ids", default=())
+
+
+class _Sink:
+    """Where event lines go: an append-mode file or a writable stream.
+
+    File sinks write through an ``O_APPEND`` descriptor with one
+    ``os.write`` per event, so lines from forked pool workers interleave
+    without tearing; stream sinks (tests) serialize under a lock.
+    """
+
+    def __init__(self, path: Optional[str] = None, stream: Any = None) -> None:
+        if (path is None) == (stream is None):
+            raise ValueError("sink needs exactly one of path or stream")
+        self.path = os.fspath(path) if path is not None else None
+        self._stream = stream
+        self._lock = threading.Lock()
+        self._fd: Optional[int] = None
+        if self.path is not None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+
+    def write(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        if self._fd is not None:
+            os.write(self._fd, line.encode("utf-8"))
+        else:
+            with self._lock:
+                self._stream.write(line)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:  # pragma: no cover - double close
+                pass
+            self._fd = None
+
+
+_sink: Optional[_Sink] = None
+
+
+# ----------------------------------------------------------------------
+# Enablement
+# ----------------------------------------------------------------------
+def enable(path: Optional[str] = None, *, stream: Any = None) -> None:
+    """Start emitting events to ``path`` (JSONL, appended) or ``stream``."""
+    global _sink
+    previous, _sink = _sink, _Sink(path, stream)
+    if previous is not None:
+        previous.close()
+
+
+def disable() -> None:
+    """Stop emitting; :func:`span` reverts to the shared no-op span."""
+    global _sink
+    previous, _sink = _sink, None
+    if previous is not None:
+        previous.close()
+
+
+def enabled() -> bool:
+    return _sink is not None
+
+
+def _enable_from_env() -> None:
+    path = os.environ.get(ENV_VAR)
+    if path:
+        try:
+            enable(path)
+        except OSError:  # unwritable path: run untraced rather than die
+            pass
+
+
+# ----------------------------------------------------------------------
+# Correlation-id context
+# ----------------------------------------------------------------------
+def new_run_id() -> str:
+    """A fresh short correlation id for one run/stream/session batch."""
+    return uuid.uuid4().hex[:12]
+
+
+class context:
+    """Bind correlation ids (``run=``, ``session=``, ``batch=`` ...) for a scope.
+
+    Reentrant and nestable; inner bindings shadow outer ones for their
+    duration.  ``None`` values are skipped so call sites can pass
+    optional ids unconditionally.
+    """
+
+    __slots__ = ("_ids", "_token")
+
+    def __init__(self, **ids: Any) -> None:
+        self._ids = ids
+        self._token = None
+
+    def __enter__(self) -> "context":
+        merged = dict(_ids.get())
+        for key, value in self._ids.items():
+            if value is not None:
+                merged[key] = value
+        self._token = _ids.set(tuple(merged.items()))
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> bool:
+        _ids.reset(self._token)
+        return False
+
+
+def current_ids() -> Dict[str, Any]:
+    """The correlation ids bound in the current logical context."""
+    return dict(_ids.get())
+
+
+# ----------------------------------------------------------------------
+# Spans and events
+# ----------------------------------------------------------------------
+class _NullSpan:
+    """The shared disabled span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "_t0")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def set(self, **attrs: Any) -> "_Span":
+        """Attach attributes discovered while the span runs."""
+        self.attrs.update(attrs)
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> bool:
+        dur = time.perf_counter() - self._t0
+        error = exc_type.__name__ if exc_type is not None else None
+        _emit("span", self.name, dur_s=dur, attrs=self.attrs, error=error)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """A context manager timing one named phase (no-op when disabled)."""
+    if _sink is None:
+        return _NULL_SPAN
+    return _Span(name, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit one point-in-time record (no-op when disabled)."""
+    if _sink is None:
+        return
+    _emit("event", name, attrs=attrs)
+
+
+def _emit(
+    kind: str,
+    name: str,
+    *,
+    dur_s: Optional[float] = None,
+    attrs: Optional[Dict[str, Any]] = None,
+    error: Optional[str] = None,
+) -> None:
+    sink = _sink
+    if sink is None:
+        return
+    record: Dict[str, Any] = {
+        "ts": time.time(),
+        "ev": kind,
+        "name": name,
+        "pid": os.getpid(),
+    }
+    record.update(_ids.get())
+    if dur_s is not None:
+        record["dur_s"] = dur_s
+    if error is not None:
+        record["error"] = error
+    if attrs:
+        record["attrs"] = attrs
+    try:
+        sink.write(record)
+    except (OSError, ValueError, TypeError):
+        pass  # telemetry never takes the run down
+
+
+# ----------------------------------------------------------------------
+# Reading a log back
+# ----------------------------------------------------------------------
+def read_events(path: str) -> Iterator[Dict[str, Any]]:
+    """Iterate the events of a JSONL span log, skipping torn lines."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn concurrent append; drop it
+            if isinstance(record, dict):
+                yield record
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    return list(read_events(path))
+
+
+_enable_from_env()

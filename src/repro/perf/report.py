@@ -171,6 +171,65 @@ def incremental_summary(stats) -> str:
     return line
 
 
+def span_timeline(events: Sequence[dict]) -> List[dict]:
+    """Fold span events (``repro.obs`` JSONL records) into per-phase rows.
+
+    Groups the ``ev == "span"`` records by name and returns one row per
+    phase — count, total/mean/p95/max seconds, share of the total span
+    time — sorted by total descending.  Point events and records without
+    a duration are ignored.  This is the aggregation behind
+    ``repro trace``.
+    """
+    by_name: Dict[str, List[float]] = {}
+    for record in events:
+        if record.get("ev") != "span":
+            continue
+        dur = record.get("dur_s")
+        if not isinstance(dur, (int, float)):
+            continue
+        by_name.setdefault(record.get("name", "?"), []).append(float(dur))
+    grand_total = sum(sum(durs) for durs in by_name.values())
+    rows = []
+    for name, durs in by_name.items():
+        durs.sort()
+        total = sum(durs)
+        p95 = durs[min(len(durs) - 1, int(0.95 * len(durs)))]
+        rows.append(
+            {
+                "name": name,
+                "count": len(durs),
+                "total_s": total,
+                "mean_s": total / len(durs),
+                "p95_s": p95,
+                "max_s": durs[-1],
+                "share": total / grand_total if grand_total > 0 else 0.0,
+            }
+        )
+    rows.sort(key=lambda row: row["total_s"], reverse=True)
+    return rows
+
+
+def span_timeline_table(events: Sequence[dict]) -> str:
+    """Render :func:`span_timeline` rows as an aligned ASCII table."""
+    rows = span_timeline(events)
+    return format_table(
+        ["phase", "count", "total_s", "mean_s", "p95_s", "max_s", "share"],
+        [
+            [
+                row["name"],
+                row["count"],
+                row["total_s"],
+                row["mean_s"],
+                row["p95_s"],
+                row["max_s"],
+                f"{row['share'] * 100.0:.1f}%",
+            ]
+            for row in rows
+        ],
+        float_format="{:.4f}",
+    )
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean ignoring NaNs and non-positive entries."""
     import math

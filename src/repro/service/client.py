@@ -98,6 +98,17 @@ class ServiceClient:
         """Ask the daemon to drain and exit."""
         return self.request("shutdown", drain=drain)
 
+    def metrics(self, *, format: Optional[str] = None) -> Dict[str, Any]:
+        """Scrape the daemon's metrics registry.
+
+        ``format="prometheus"`` adds a ``text`` field with the registry
+        rendered in Prometheus exposition format.
+        """
+        fields: Dict[str, Any] = {}
+        if format is not None:
+            fields["format"] = format
+        return self.request("metrics", **fields)
+
     def open_session(
         self,
         design: Union[Layout, Dict[str, Any]],

@@ -31,10 +31,14 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.designio.serialize import layout_from_dict
+from repro.obs import metrics as obs_metrics
+from repro.obs import span
+from repro.obs.metrics import prometheus_text
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ConnectionClosed,
@@ -265,7 +269,26 @@ class LegalizationServer:
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             raise ProtocolError("unknown_op", f"unknown op {op!r}")
-        return handler(request)
+        # Per-op telemetry: one latency observation and one status-coded
+        # request count per handled request.  Only *known* ops become
+        # label values, so a misbehaving client cannot mint unbounded
+        # metric series.
+        status = "ok"
+        start = time.perf_counter()
+        try:
+            with span("svc.op", op=op):
+                return handler(request)
+        except ProtocolError as exc:
+            status = exc.code
+            raise
+        except Exception:  # pragma: no cover - defensive
+            status = "internal"
+            raise
+        finally:
+            obs_metrics.observe(
+                "repro_op_latency_seconds", time.perf_counter() - start, op=op
+            )
+            obs_metrics.inc("repro_requests_total", op=op, status=status)
 
     def _session_for(self, request: Dict[str, Any]) -> Session:
         name = request_field(request, "session", str)
@@ -366,11 +389,74 @@ class LegalizationServer:
         result = session.submit(deltas, wait=wait)
         return ok_response("apply_deltas", session=session.name, **result)
 
+    def _server_stats(self) -> Dict[str, Any]:
+        """Daemon-wide operational counters (queue/admission visibility)."""
+        with self._mutex:
+            sessions = {
+                name: s for name, s in self._sessions.items() if s is not None
+            }
+        return {
+            "sessions": len(sessions),
+            "max_sessions": self.config.max_sessions,
+            "inflight": self._inflight.value,
+            "max_inflight": self.config.max_inflight,
+            "queue_depths": {
+                name: s.queue_depth() for name, s in sessions.items()
+            },
+            "draining": self._draining,
+        }
+
     def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
         session = self._session_for(request)
         if request_field(request, "wait", bool, required=False, default=False):
             session.barrier()
-        return ok_response("stats", **session.stats())
+        return ok_response("stats", server=self._server_stats(), **session.stats())
+
+    def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The live registry plus per-session engine summaries.
+
+        ``format: "prometheus"`` additionally renders the snapshot in the
+        Prometheus text exposition format (the ``text`` response field).
+        """
+        fmt = request_field(request, "format", str, required=False, default="json")
+        if fmt not in ("json", "prometheus"):
+            raise ProtocolError(
+                "bad_request", f"unknown metrics format {fmt!r} (json, prometheus)"
+            )
+        server = self._server_stats()
+        with self._mutex:
+            sessions = {
+                name: s for name, s in self._sessions.items() if s is not None
+            }
+        # Liveness gauges are refreshed at scrape time so the snapshot is
+        # current; per-session depth gauges are rebuilt from the live
+        # session set so closed sessions do not linger as stale series.
+        obs_metrics.set_gauge("repro_inflight", server["inflight"])
+        obs_metrics.set_gauge("repro_inflight_limit", server["max_inflight"])
+        obs_metrics.set_gauge("repro_sessions_open", server["sessions"])
+        obs_metrics.set_gauge("repro_sessions_limit", server["max_sessions"])
+        obs_metrics.clear_gauge("repro_session_queue_depth")
+        session_summaries = {}
+        for name, session in sessions.items():
+            depth = server["queue_depths"].get(name, 0)
+            obs_metrics.set_gauge("repro_session_queue_depth", depth, session=name)
+            session_summaries[name] = {
+                "queue_depth": depth,
+                "dispatches": session.dispatches,
+                "coalesced_batches": session.coalesced_batches,
+                "failed_batches": session.failed_batches,
+                "engine": session.engine.lifetime_summary(),
+            }
+        snapshot = obs_metrics.REGISTRY.snapshot()
+        response = ok_response(
+            "metrics",
+            server=server,
+            sessions=session_summaries,
+            metrics=snapshot,
+        )
+        if fmt == "prometheus":
+            response["text"] = prometheus_text(snapshot)
+        return response
 
     def _op_repack(self, request: Dict[str, Any]) -> Dict[str, Any]:
         if self._draining:

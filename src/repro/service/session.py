@@ -32,11 +32,14 @@ recorded (the failure itself is deterministic and replays identically).
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Sequence
 
+import repro.obs as obs
 from repro.designio.serialize import layout_fingerprint, layout_from_dict, layout_to_dict
+from repro.obs import metrics as obs_metrics
 from repro.geometry.layout import Layout
 from repro.incremental.deltas import Delta, delta_from_dict
 from repro.incremental.engine import DEFAULT_FULL_THRESHOLD, IncrementalLegalizer
@@ -177,6 +180,8 @@ class _Pending:
     error: Optional[ProtocolError] = None
     #: Batches (beyond the first) this item shared a dispatch with.
     coalesced: bool = False
+    #: Enqueue timestamp (perf_counter) for the queue-wait histogram.
+    enqueued_at: float = 0.0
 
 
 class SessionClosed(ProtocolError):
@@ -360,6 +365,7 @@ class Session:
                 self._inflight.acquire()  # raises "busy" before queueing
             self._seq += 1
             item.seq = self._seq
+            item.enqueued_at = time.perf_counter()
             self._queue.append(item)
 
     def _finish(self, item: _Pending) -> None:
@@ -395,12 +401,21 @@ class Session:
                     items = list(self._queue)
                     self._queue.clear()
                 self.dispatches += 1
+                obs_metrics.inc("repro_session_dispatches_total")
                 batches = sum(1 for it in items if it.kind == "batch")
                 if batches > 1:
                     self.coalesced_batches += batches - 1
+                    obs_metrics.inc(
+                        "repro_session_coalesced_batches_total", batches - 1
+                    )
                     for it in items[1:]:
                         it.coalesced = True
+                drained_at = time.perf_counter()
                 for it in items:
+                    if it.kind == "batch":
+                        obs_metrics.observe(
+                            "repro_queue_wait_seconds", drained_at - it.enqueued_at
+                        )
                     self._apply_one(it)
                     self._finish(it)
         except BaseException:
@@ -425,12 +440,15 @@ class Session:
             self._record_async_error(item)
             return
         try:
-            if item.kind == "repack":
-                result = self.engine.repack()
-                self.ledger.append({"kind": "repack"})
-            else:
-                result = self.engine.apply(item.deltas)
-                self.ledger.append({"kind": "batch", "deltas": item.raw_deltas})
+            # Correlation ids for every span the engine (and the kernel
+            # backend below it) emits while this item applies.
+            with obs.context(session=self.name, batch=item.seq):
+                if item.kind == "repack":
+                    result = self.engine.repack()
+                    self.ledger.append({"kind": "repack"})
+                else:
+                    result = self.engine.apply(item.deltas)
+                    self.ledger.append({"kind": "batch", "deltas": item.raw_deltas})
         except ValueError as exc:
             # validate_deltas rejected the batch: nothing mutated, the
             # session stays fully usable, the batch is not in the ledger.

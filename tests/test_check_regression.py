@@ -1,0 +1,240 @@
+"""Tests of ``benchmarks/check_regression.py``'s loud-failure contract.
+
+The CI gate script must fail — never silently pass — when a
+``BENCH_*.json`` payload is missing, empty, corrupt, or lacks a section
+the gate reads, and when a baselined benchmark disappears from the run.
+The script lives outside the package, so it is loaded by file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def write_json(path: Path, payload) -> Path:
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def bench_json(tmp_path):
+    """A minimal valid pytest-benchmark output + matching baseline."""
+    bench = write_json(
+        tmp_path / "BENCH_full.json",
+        {"benchmarks": [{"name": "test_a", "stats": {"mean": 0.1}}]},
+    )
+    baseline = write_json(tmp_path / "baseline.json", {"test_a": 0.1})
+    return bench, baseline
+
+
+def good_service_payload():
+    return {
+        "clients": 4,
+        "batches_per_client": 12,
+        "mismatches": 0,
+        "failed_batches": 0,
+        "latency": {"p50_s": 0.01, "p95_s": 0.05},
+        "throughput_batches_per_s": 20.0,
+        "per_session": [{"session": "s1", "match": True}],
+    }
+
+
+def good_eco_payload():
+    return {
+        "final": {
+            "drift_vs_full": 0.01,
+            "speedup_estimate": 8.0,
+            "repacks": 1,
+            "failed_batches": 0,
+        },
+        "trajectory": [{"batch": 0, "repacks_total": 0}],
+    }
+
+
+def good_mp_payload():
+    return {
+        "design": "dense",
+        "cpu_count": 8,
+        "rows": [
+            {"backend": "multiprocess", "workers": 2, "speedup": 1.8,
+             "wall_s": 1.0, "mode": "static"},
+        ],
+    }
+
+
+class TestBaselineComparison:
+    def test_happy_path_passes(self, bench_json, capsys):
+        bench, baseline = bench_json
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_missing_benchmark_json_fails(self, tmp_path, capsys):
+        rc = check_regression.main([str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_corrupt_benchmark_json_fails(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_full.json"
+        bad.write_text("{not json", encoding="utf-8")
+        rc = check_regression.main([str(bad)])
+        assert rc == 1
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_empty_benchmark_json_fails(self, tmp_path, capsys):
+        bench = write_json(tmp_path / "BENCH_full.json", {"benchmarks": []})
+        rc = check_regression.main([str(bench)])
+        assert rc == 1
+        assert "no benchmark timings" in capsys.readouterr().err
+
+    def test_bench_missing_from_run_fails(self, tmp_path, capsys):
+        """A renamed/dropped bench must not silently leave coverage."""
+        bench = write_json(
+            tmp_path / "BENCH_full.json",
+            {"benchmarks": [{"name": "test_a", "stats": {"mean": 0.1}}]},
+        )
+        baseline = write_json(
+            tmp_path / "baseline.json", {"test_a": 0.1, "test_gone": 0.2}
+        )
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "MISSING from this run" in capsys.readouterr().err
+
+    def test_regression_detected(self, tmp_path, capsys):
+        bench = write_json(
+            tmp_path / "BENCH_full.json",
+            {"benchmarks": [{"name": "test_a", "stats": {"mean": 0.5}}]},
+        )
+        baseline = write_json(tmp_path / "baseline.json", {"test_a": 0.1})
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestPayloadGates:
+    def run_gate(self, bench_json, flag, payload_path):
+        bench, baseline = bench_json
+        return check_regression.main(
+            [str(bench), "--baseline", str(baseline), flag, str(payload_path)]
+        )
+
+    def test_all_gates_pass_on_complete_payloads(self, bench_json, tmp_path):
+        bench, baseline = bench_json
+        rc = check_regression.main([
+            str(bench), "--baseline", str(baseline),
+            "--service", str(write_json(tmp_path / "s.json", good_service_payload())),
+            "--eco-soak", str(write_json(tmp_path / "e.json", good_eco_payload())),
+            "--mp-sweep", str(write_json(tmp_path / "m.json", good_mp_payload())),
+        ])
+        assert rc == 0
+
+    @pytest.mark.parametrize("flag", ["--service", "--eco-soak", "--mp-sweep"])
+    def test_missing_payload_file_fails(self, bench_json, tmp_path, flag, capsys):
+        rc = self.run_gate(bench_json, flag, tmp_path / "gone.json")
+        assert rc == 1
+        assert "missing" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--service", "--eco-soak", "--mp-sweep"])
+    def test_empty_payload_fails(self, bench_json, tmp_path, flag, capsys):
+        payload = write_json(tmp_path / "empty.json", {})
+        rc = self.run_gate(bench_json, flag, payload)
+        assert rc == 1
+        assert "empty or non-object" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--service", "--eco-soak", "--mp-sweep"])
+    def test_corrupt_payload_fails(self, bench_json, tmp_path, flag, capsys):
+        payload = tmp_path / "bad.json"
+        payload.write_text("{oops", encoding="utf-8")
+        rc = self.run_gate(bench_json, flag, payload)
+        assert rc == 1
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_service_missing_sections_fail(self, bench_json, tmp_path, capsys):
+        payload = good_service_payload()
+        del payload["mismatches"]
+        rc = self.run_gate(
+            bench_json, "--service", write_json(tmp_path / "s.json", payload)
+        )
+        assert rc == 1
+        assert "missing required section" in capsys.readouterr().err
+
+    def test_service_missing_p95_fails(self, bench_json, tmp_path, capsys):
+        payload = good_service_payload()
+        payload["latency"] = {"p50_s": 0.01}
+        rc = self.run_gate(
+            bench_json, "--service", write_json(tmp_path / "s.json", payload)
+        )
+        assert rc == 1
+        assert "p95_s" in capsys.readouterr().err
+
+    def test_service_empty_sessions_fail(self, bench_json, tmp_path, capsys):
+        payload = good_service_payload()
+        payload["per_session"] = []
+        rc = self.run_gate(
+            bench_json, "--service", write_json(tmp_path / "s.json", payload)
+        )
+        assert rc == 1
+        assert "per-session" in capsys.readouterr().err
+
+    def test_service_mismatch_fails(self, bench_json, tmp_path, capsys):
+        payload = good_service_payload()
+        payload["mismatches"] = 1
+        rc = self.run_gate(
+            bench_json, "--service", write_json(tmp_path / "s.json", payload)
+        )
+        assert rc == 1
+        assert "diverged" in capsys.readouterr().err
+
+    def test_eco_missing_final_fails(self, bench_json, tmp_path, capsys):
+        rc = self.run_gate(
+            bench_json, "--eco-soak",
+            write_json(tmp_path / "e.json", {"trajectory": [{"batch": 0}]}),
+        )
+        assert rc == 1
+        assert "missing required section" in capsys.readouterr().err
+
+    def test_eco_empty_trajectory_fails(self, bench_json, tmp_path, capsys):
+        payload = good_eco_payload()
+        payload["trajectory"] = []
+        rc = self.run_gate(
+            bench_json, "--eco-soak", write_json(tmp_path / "e.json", payload)
+        )
+        assert rc == 1
+        assert "trajectory is empty" in capsys.readouterr().err
+
+    def test_mp_missing_cpu_count_fails(self, bench_json, tmp_path, capsys):
+        payload = good_mp_payload()
+        del payload["cpu_count"]
+        rc = self.run_gate(
+            bench_json, "--mp-sweep", write_json(tmp_path / "m.json", payload)
+        )
+        assert rc == 1
+        assert "cpu_count" in capsys.readouterr().err
+
+    def test_mp_empty_rows_fail(self, bench_json, tmp_path, capsys):
+        payload = good_mp_payload()
+        payload["rows"] = []
+        rc = self.run_gate(
+            bench_json, "--mp-sweep", write_json(tmp_path / "m.json", payload)
+        )
+        assert rc == 1
+        assert "no rows" in capsys.readouterr().err
+
+    def test_mp_few_cores_skips_gate(self, bench_json, tmp_path, capsys):
+        payload = good_mp_payload()
+        payload["cpu_count"] = 1
+        rc = self.run_gate(
+            bench_json, "--mp-sweep", write_json(tmp_path / "m.json", payload)
+        )
+        assert rc == 0
+        assert "gate skipped" in capsys.readouterr().out

@@ -23,6 +23,7 @@ from repro.benchgen import EcoSpec, generate_eco_stream
 from repro.designio import layout_fingerprint, layout_from_dict, layout_to_dict
 from repro.incremental import IncrementalLegalizer
 from repro.kernels import available_backends
+from repro.obs.metrics import find_series
 from repro.service import (
     LegalizationServer,
     ServeConfig,
@@ -441,6 +442,169 @@ class TestProtocolErrors:
             assert result["success"]
             final = handle.close()
             assert handle.verify(final)
+
+
+# ----------------------------------------------------------------------
+# Observability: the stats server section and the metrics op
+# ----------------------------------------------------------------------
+def _counter_total(snapshot, name, **labels):
+    """Sum a counter's value over every series matching ``labels``."""
+    wanted = {k: str(v) for k, v in labels.items()}
+    return sum(
+        c["value"]
+        for c in snapshot.get("counters", [])
+        if c["name"] == name
+        and all(c["labels"].get(k) == v for k, v in wanted.items())
+    )
+
+
+class TestObservability:
+    """The registry is process-global, so every assertion here is
+    delta-based (scrape before, scrape after) — other tests in the same
+    pytest process legitimately bump the same counters."""
+
+    def test_stats_includes_server_section(self, server):
+        design = small_design(num_cells=50, density=0.5, seed=21)
+        with connect(server) as client:
+            handle = client.open_session(
+                design, session="obsstats", config={"backend": "python"}
+            )
+            stats = handle.stats()
+            srv = stats["server"]
+            assert srv["sessions"] == 1
+            assert srv["max_sessions"] == server.config.max_sessions
+            assert srv["inflight"] == 0
+            assert srv["max_inflight"] == server.config.max_inflight
+            assert srv["queue_depths"] == {"obsstats": 0}
+            assert srv["draining"] is False
+            handle.close()
+
+    def test_metrics_op_counts_and_latency(self, server):
+        design = small_design(num_cells=60, density=0.5, seed=22)
+        batches = [
+            move_only_batch(design, np.random.default_rng(s)) for s in range(5)
+        ]
+        with connect(server) as client:
+            before = client.metrics()["metrics"]
+            handle = client.open_session(
+                design, session="obsm", config={"backend": "python"}
+            )
+            for batch in batches:
+                handle.apply(batch)
+            response = client.metrics()
+            after = response["metrics"]
+
+            applied = _counter_total(
+                after, "repro_requests_total", op="apply_deltas", status="ok"
+            ) - _counter_total(
+                before, "repro_requests_total", op="apply_deltas", status="ok"
+            )
+            assert applied >= len(batches)
+
+            hist = find_series(
+                after, "histograms", "repro_op_latency_seconds", op="apply_deltas"
+            )
+            assert hist is not None
+            assert hist["count"] >= len(batches)
+            assert hist["sum"] >= 0.0
+            assert sum(hist["buckets"]) == hist["count"]
+
+            # Liveness gauges refreshed at scrape time.
+            assert find_series(after, "gauges", "repro_inflight")["value"] == 0
+            depth = find_series(
+                after, "gauges", "repro_session_queue_depth", session="obsm"
+            )
+            assert depth is not None and depth["value"] == 0
+
+            # Per-session engine summaries ride along with the scrape.
+            summary = response["sessions"]["obsm"]
+            assert summary["queue_depth"] == 0
+            assert summary["engine"]["batches"] == len(batches)
+
+            handle.close()
+            # Closed sessions must not linger as stale gauge series.
+            final = client.metrics()["metrics"]
+            assert find_series(
+                final, "gauges", "repro_session_queue_depth", session="obsm"
+            ) is None
+
+    def test_metrics_prometheus_text(self, server):
+        design = small_design(num_cells=40, density=0.5, seed=23)
+        with connect(server) as client:
+            handle = client.open_session(
+                design, session="obsprom", config={"backend": "python"}
+            )
+            handle.apply(move_only_batch(design, np.random.default_rng(1)))
+            response = client.metrics(format="prometheus")
+            text = response["text"]
+            assert "# TYPE repro_requests_total counter" in text
+            assert "# TYPE repro_op_latency_seconds histogram" in text
+            assert (
+                'repro_op_latency_seconds_bucket{op="apply_deltas",le="+Inf"}'
+                in text
+            )
+            assert 'repro_session_queue_depth{session="obsprom"} 0' in text
+            assert "repro_inflight 0" in text
+            handle.close()
+
+    def test_metrics_rejects_unknown_format(self, server):
+        with connect(server) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.metrics(format="xml")
+            assert excinfo.value.code == "bad_request"
+            assert client.ping()["ok"]
+
+    def test_metrics_under_concurrent_clients(self, server):
+        """4 concurrent clients: live scrape mid-soak, consistent deltas."""
+        clients, batches = 4, 6
+        designs = [
+            small_design(num_cells=60, density=0.5, seed=40 + i)
+            for i in range(clients)
+        ]
+        with connect(server) as scraper:
+            before = scraper.metrics()["metrics"]
+            errors = []
+
+            def run_client(i):
+                try:
+                    rng = np.random.default_rng(200 + i)
+                    with connect(server, timeout=120.0) as client:
+                        handle = client.open_session(
+                            designs[i], config={"backend": "python"}
+                        )
+                        for _ in range(batches):
+                            assert handle.apply(
+                                move_only_batch(designs[i], rng)
+                            )["success"]
+                        handle.close()
+                except Exception as exc:
+                    errors.append((i, exc))
+
+            threads = [
+                threading.Thread(target=run_client, args=(i,))
+                for i in range(clients)
+            ]
+            for t in threads:
+                t.start()
+            # Scrapes interleave with the soak: each must be a coherent
+            # snapshot, never a crash or a torn histogram.
+            while any(t.is_alive() for t in threads):
+                snap = scraper.metrics()["metrics"]
+                for hist in snap.get("histograms", []):
+                    assert sum(hist["buckets"]) == hist["count"], hist["name"]
+                time.sleep(0.01)
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors, f"client errors: {errors}"
+
+            after = scraper.metrics()["metrics"]
+            applied = _counter_total(
+                after, "repro_requests_total", op="apply_deltas", status="ok"
+            ) - _counter_total(
+                before, "repro_requests_total", op="apply_deltas", status="ok"
+            )
+            assert applied == clients * batches
+            assert find_series(after, "gauges", "repro_inflight")["value"] == 0
 
 
 # ----------------------------------------------------------------------
