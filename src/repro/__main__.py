@@ -46,6 +46,13 @@ These subcommands cover the daily workflows::
         Fold a ``REPRO_TRACE`` span log (JSONL emitted by
         :mod:`repro.obs`) into a per-phase wall-time timeline table.
 
+    repro lint [paths...] [--strict] [--format human|json|github]
+               [--select RULE-ID] [--baseline FILE] [--update-baseline]
+        Run the project's static analyzer (:mod:`repro.analysis`):
+        determinism, float-exactness, lock-discipline and fork-safety
+        rules over the source tree.  Exit 0 clean, 1 findings, 2 usage
+        errors; per-line suppressions via ``# repro: allow[rule-id]``.
+
 The module is installed as the ``repro`` console script via
 ``[project.scripts]`` and is equally runnable as ``python -m repro``.
 """
@@ -54,6 +61,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -645,6 +653,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "the dashboard")
     p_top.set_defaults(func=cmd_top)
 
+    p_lint = sub.add_parser(
+        "lint", help="static analysis: determinism / float-exactness / "
+                     "lock-discipline / fork-safety rules"
+    )
+    from repro.analysis.cli import add_lint_arguments, cmd_lint
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
+
     p_trace = sub.add_parser(
         "trace", help="fold a REPRO_TRACE span log into a per-phase timeline"
     )
@@ -668,6 +685,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro ... | head`): not an error.
+        # Point stdout at devnull so interpreter shutdown doesn't raise
+        # again while flushing the dead pipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except OSError as exc:
         # Bad paths: prefer the "path: reason" spelling over the raw
         # "[Errno 2] ..." repr.

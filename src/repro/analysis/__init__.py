@@ -1,0 +1,61 @@
+"""``repro.analysis`` — the project's static analyzer (``repro lint``).
+
+An AST-based rule engine enforcing the repository's three standing
+contracts *statically*, so whole hazard classes are proven absent
+rather than sampled by tests:
+
+* **determinism** (``det-*``) — no unordered iteration, host-dependent
+  values, hidden RNG state, wall clocks or address-keyed containers in
+  the code that feeds placements;
+* **float exactness** (``flt-*``) — the documented left-to-right
+  float64 scalar fold is the only sanctioned reduction in kernel code;
+* **lock discipline** (``lck-*``) — state declared in a class's
+  ``_GUARDED_BY`` map is only touched under its lock;
+* **fork safety** (``frk-*``) — nothing fork-unsafe reaches pool
+  workers, and shared-memory segments cannot leak.
+
+See :mod:`repro.analysis.core` for the rule framework and per-line
+``# repro: allow[rule-id]`` suppressions, :mod:`repro.analysis.engine`
+for the driver, and :mod:`repro.analysis.cli` for the ``repro lint``
+command (exit codes 0 clean / 1 findings / 2 usage).
+"""
+
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    all_rules,
+    parse_suppressions,
+    register_rule,
+)
+from repro.analysis.engine import (
+    LintResult,
+    iter_python_files,
+    lint_file,
+    run_lint,
+)
+
+__all__ = [
+    "BaselineError",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "apply_baseline",
+    "iter_python_files",
+    "lint_file",
+    "load_baseline",
+    "parse_suppressions",
+    "register_rule",
+    "run_lint",
+    "save_baseline",
+]

@@ -1,0 +1,124 @@
+"""Shared AST helpers for the lint rules.
+
+Small, deliberately conservative building blocks: import-alias
+resolution (so ``import numpy as np`` and ``from math import fsum``
+both resolve to their canonical dotted names), dotted-attribute
+flattening, and per-function walks that do not descend into nested
+``def``/``lambda`` bodies (each function is analyzed in its own right).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+__all__ = [
+    "FunctionNode",
+    "collect_import_aliases",
+    "dotted_name",
+    "resolve_call_target",
+    "iter_functions",
+    "walk_shallow",
+    "is_self_attribute",
+]
+
+
+def collect_import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted name for every top-level import.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from math import
+    fsum as f`` maps ``f -> math.fsum``.  Only module-level imports are
+    collected — function-local imports are resolved by the same map
+    because shadowing an import with a different module inside one
+    function is not a pattern this codebase uses.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call_target(
+    func: ast.AST, aliases: Dict[str, str]
+) -> Optional[str]:
+    """The canonical dotted name a call resolves to, alias-expanded.
+
+    ``np.random.default_rng`` with ``np -> numpy`` becomes
+    ``numpy.random.default_rng``; a bare ``fsum`` imported from math
+    becomes ``math.fsum``.
+    """
+    name = dotted_name(func)
+    if name is None:
+        return None
+    head, _, tail = name.partition(".")
+    expanded = aliases.get(head, head)
+    return f"{expanded}.{tail}" if tail else expanded
+
+
+def iter_functions(tree: ast.Module) -> Iterator[Tuple[FunctionNode, Optional[ast.ClassDef]]]:
+    """Every function definition with its directly enclosing class."""
+
+    def visit(node: ast.AST, cls: Optional[ast.ClassDef]) -> Iterator[
+        Tuple[FunctionNode, Optional[ast.ClassDef]]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                yield from visit(child, None)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, child)
+            else:
+                yield from visit(child, cls)
+
+    return visit(tree, None)
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function bodies.
+
+    The roots' own body is walked; any ``def``/``lambda`` encountered
+    inside is yielded but not entered — nested functions run on their
+    own schedule and must be analyzed with their own context.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def is_self_attribute(node: ast.AST, attr: Optional[str] = None) -> bool:
+    """``self.<attr>`` (any attribute when ``attr`` is None)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )

@@ -1,0 +1,90 @@
+"""Finding baselines: ratchet pre-existing debt without hiding new debt.
+
+The baseline file records *counts* per ``(path, rule)`` — line numbers
+churn with every edit, so a positional baseline would rot instantly.
+At lint time, up to ``count`` findings of each baselined ``(path,
+rule)`` pair are absorbed; anything beyond the count is new debt and
+fails the run.  ``--update-baseline`` rewrites the file from the
+current findings (an empty run writes an empty baseline — which is the
+committed state this repo's CI asserts).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file that exists but cannot be used (usage error)."""
+
+
+def load_baseline(path: Path) -> Dict[Tuple[str, str], int]:
+    """``(path, rule) -> allowed count``; a missing file is empty."""
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"{path}: unreadable baseline: {exc}") from None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise BaselineError(
+            f"{path}: not a v{BASELINE_VERSION} lint baseline "
+            '(expected {"version": 1, "entries": [...]})'
+        )
+    out: Dict[Tuple[str, str], int] = {}
+    for entry in payload["entries"]:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("path"), str)
+            or not isinstance(entry.get("rule"), str)
+            or not isinstance(entry.get("count"), int)
+            or entry["count"] < 1
+        ):
+            raise BaselineError(f"{path}: malformed baseline entry {entry!r}")
+        out[(entry["path"], entry["rule"])] = entry["count"]
+    return out
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the baseline covering exactly the given findings."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for finding in findings:
+        key = finding.baseline_key()
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"path": p, "rule": r, "count": n}
+        for (p, r), n in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[Tuple[str, str], int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (surfaced, absorbed-count).
+
+    Findings are absorbed in source order, up to the baselined count per
+    ``(path, rule)``; the remainder surfaces as new debt.
+    """
+    remaining = dict(baseline)
+    surfaced: List[Finding] = []
+    absorbed = 0
+    for finding in sorted(findings):
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            absorbed += 1
+        else:
+            surfaced.append(finding)
+    return surfaced, absorbed

@@ -1,0 +1,128 @@
+"""``repro lint`` — the CLI face of the static analyzer.
+
+Exit-code contract (locked by tests):
+
+* ``0`` — clean (no findings above the baseline; warnings only fail
+  under ``--strict``);
+* ``1`` — findings;
+* ``2`` — usage errors (bad path, unknown rule id, corrupt baseline),
+  reported as one-line messages by the ``repro`` entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import BaselineError, save_baseline
+from repro.analysis.core import all_rules
+from repro.analysis.engine import run_lint
+from repro.analysis.report import FORMATS, render
+
+#: Default baseline location, relative to the lint root.
+DEFAULT_BASELINE = Path("lint-baseline.json")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro lint``'s options to a subcommand parser."""
+    parser.add_argument(
+        "paths", type=Path, nargs="*", default=[Path("src")],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="human", dest="fmt",
+        help="output format (human, json, github annotations)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) on warnings too, not just errors",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="RULE-ID",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="baseline file absorbing pre-existing findings "
+             "(default: lint-baseline.json; missing file = empty)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table (id, severity, scopes) and exit 0",
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """The subcommand body; raises ValueError for usage errors (exit 2)."""
+    if args.list_rules:
+        print(format_rule_table())
+        return 0
+    try:
+        result = run_lint(
+            list(args.paths),
+            select=args.select,
+            baseline_path=args.baseline,
+        )
+    except FileNotFoundError as exc:
+        raise ValueError(str(exc)) from None
+    except BaselineError as exc:
+        raise ValueError(str(exc)) from None
+    if args.update_baseline:
+        save_baseline(args.baseline, result.raw_findings)
+        print(
+            f"baseline     : wrote {len(result.raw_findings)} finding(s) "
+            f"to {args.baseline}"
+        )
+        return 0
+    output = render(
+        result.findings,
+        args.fmt,
+        files_checked=result.files_checked,
+        absorbed=result.absorbed,
+    )
+    if output:
+        print(output)
+    return 1 if result.failed(strict=args.strict) else 0
+
+
+def format_rule_table() -> str:
+    """The registered rules as an aligned id/severity/scope table."""
+    rows: List[List[str]] = []
+    for rule_id, cls in sorted(all_rules().items()):
+        scopes = ", ".join(cls.scopes) if cls.scopes else "(all files)"
+        rows.append([rule_id, cls.severity, scopes, cls.description])
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = [
+        "  ".join(
+            [row[0].ljust(widths[0]), row[1].ljust(widths[1]),
+             row[2].ljust(widths[2]), row[3]]
+        ).rstrip()
+        for row in rows
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Project-specific static analyzer: determinism, "
+                    "float-exactness, lock-discipline and fork-safety rules.",
+    )
+    add_lint_arguments(parser)
+    try:
+        return cmd_lint(parser.parse_args(argv))
+    except ValueError as exc:
+        print(f"repro lint: error: {exc}")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Core types of the ``repro lint`` static analyzer.
+
+The analyzer is a small AST-based rule engine purpose-built for this
+repository's contracts: every backend must stay bit-for-bit
+deterministic, shared state must be touched under its declared lock,
+and nothing fork-unsafe may be reachable from pool-worker closures.
+Rules prove the *absence* of whole hazard classes that the dynamic
+equivalence suites can only sample.
+
+A :class:`Rule` declares an id, a severity, the path scopes it applies
+to, and a ``run`` method producing :class:`Finding` objects from a
+parsed :class:`FileContext`.  Findings can be silenced per line with::
+
+    hazardous_call()  # repro: allow[rule-id] why this one is sanctioned
+
+(multiple ids comma-separated; ``allow[*]`` silences every rule on the
+line).  Suppression comments are read from real COMMENT tokens, so
+string literals containing the marker are inert.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple, Type
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "parse_suppressions",
+]
+
+#: Ordered severities; ``error`` always fails the run, ``warning`` only
+#: fails under ``--strict``.
+SEVERITIES = ("warning", "error")
+
+Severity = str
+
+_ALLOW_MARKER = "repro:"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def format_human(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+    def format_github(self) -> str:
+        kind = "error" if self.severity == "error" else "warning"
+        # GitHub annotation commands; commas/newlines in properties are
+        # escaped per the workflow-command grammar.
+        message = self.message.replace("%", "%25").replace("\n", "%0A")
+        return (
+            f"::{kind} file={self.path},line={self.line},col={self.col},"
+            f"title={self.rule}::{message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> Tuple[str, str]:
+        """Baselines match per ``(path, rule)`` — line numbers churn."""
+        return (self.path, self.rule)
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, shared by every rule that runs on it.
+
+    ``rel`` is the posix-style path the findings report and the scope
+    predicates match against (relative to the lint invocation's root).
+    """
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=rel)
+        return cls(
+            path=path,
+            rel=rel,
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+        )
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        ids = self.suppressions.get(line)
+        if ids is None:
+            return False
+        return "*" in ids or rule in ids
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids allowed by ``# repro: allow[...]``."""
+    out: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        text = tok.string.lstrip("#").strip()
+        if not text.startswith(_ALLOW_MARKER):
+            continue
+        directive = text[len(_ALLOW_MARKER):].strip()
+        if not directive.startswith("allow["):
+            continue
+        closing = directive.find("]")
+        if closing < 0:
+            continue
+        ids = {
+            entry.strip()
+            for entry in directive[len("allow["):closing].split(",")
+            if entry.strip()
+        }
+        if ids:
+            out.setdefault(tok.start[0], set()).update(ids)
+    return out
+
+
+class Rule:
+    """Base class: subclasses register with :func:`register_rule`.
+
+    ``scopes`` restricts where the rule fires: each entry is a
+    ``/``-separated path fragment (``"repro/kernels"`` or a file like
+    ``"repro/core/sacs.py"``) that must appear segment-aligned in the
+    linted file's relative path.  An empty tuple means every file.
+    """
+
+    id: str = ""
+    severity: Severity = "error"
+    description: str = ""
+    scopes: Tuple[str, ...] = ()
+
+    def applies_to(self, rel: str) -> bool:
+        if not self.scopes:
+            return True
+        haystack = "/" + rel.strip("/") + "/"
+        for scope in self.scopes:
+            needle = "/" + scope.strip("/")
+            if haystack.rstrip("/").endswith(needle) or (needle + "/") in haystack:
+                return True
+        return False
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule class {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"rule {cls.id}: unknown severity {cls.severity!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """The registered rules, importing the built-in families on demand."""
+    # Importing the rule modules registers them; done lazily so core has
+    # no import cycle with the rule files.
+    from repro.analysis import (  # noqa: F401
+        rules_determinism,
+        rules_float,
+        rules_fork,
+        rules_locks,
+    )
+
+    return dict(_REGISTRY)

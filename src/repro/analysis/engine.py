@@ -1,0 +1,139 @@
+"""The lint driver: discover files, run rules, filter, report.
+
+:func:`run_lint` is the library entry point (the CLI in
+:mod:`repro.analysis.cli` is a thin argparse shim over it): it walks
+the requested paths, parses every ``.py`` file once, runs each
+registered rule whose scope matches, drops per-line-suppressed
+findings, folds the baseline in, and returns a :class:`LintResult`
+carrying everything the formatters and exit-code logic need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.core import FileContext, Finding, Rule, all_rules
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "node_modules"}
+
+#: Rule id used for files that fail to parse at all.
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    absorbed: int = 0
+    #: Findings before baseline subtraction (what --update-baseline saves).
+    raw_findings: List[Finding] = field(default_factory=list)
+
+    def counts(self) -> Tuple[int, int]:
+        errors = sum(1 for f in self.findings if f.severity == "error")
+        return errors, len(self.findings) - errors
+
+    def failed(self, *, strict: bool) -> bool:
+        errors, warnings = self.counts()
+        return errors > 0 or (strict and warnings > 0)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    out: Set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                out.add(path)
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    out.add(sub)
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+    return sorted(out)
+
+
+def _relative_to_root(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def instantiate_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """All registered rules, optionally filtered to the selected ids."""
+    registry = all_rules()
+    if select:
+        unknown = sorted(set(select) - set(registry))
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(registry))}"
+            )
+        return [registry[rule_id]() for rule_id in sorted(set(select))]
+    return [cls() for cls in registry.values()]
+
+
+def lint_file(path: Path, rel: str, rules: Sequence[Rule]) -> List[Finding]:
+    """All non-suppressed findings for one file."""
+    try:
+        ctx = FileContext.load(path, rel)
+    except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return [
+            Finding(
+                path=rel,
+                line=int(line),
+                col=1,
+                rule=PARSE_ERROR_RULE,
+                severity="error",
+                message=f"file does not parse: {exc}",
+            )
+        ]
+    findings: Set[Finding] = set()
+    for rule in rules:
+        if not rule.applies_to(rel):
+            continue
+        for finding in rule.run(ctx):
+            if not ctx.suppressed(finding.line, finding.rule):
+                findings.add(finding)
+    return sorted(findings)
+
+
+def run_lint(
+    paths: Sequence[Path],
+    *,
+    root: Optional[Path] = None,
+    select: Optional[Sequence[str]] = None,
+    baseline_path: Optional[Path] = None,
+) -> LintResult:
+    """Lint ``paths`` and return the full result.
+
+    ``root`` anchors the relative paths findings report (defaults to the
+    current directory); ``baseline_path`` (when given and existing) is
+    loaded and subtracted — the raw findings stay available on the
+    result for ``--update-baseline``.
+    """
+    root = root or Path.cwd()
+    rules = instantiate_rules(select)
+    files = iter_python_files(paths)
+    raw: List[Finding] = []
+    for path in files:
+        raw.extend(lint_file(path, _relative_to_root(path, root), rules))
+    raw.sort()
+    baseline: Dict[Tuple[str, str], int] = (
+        load_baseline(baseline_path) if baseline_path is not None else {}
+    )
+    surfaced, absorbed = apply_baseline(raw, baseline)
+    return LintResult(
+        findings=surfaced,
+        files_checked=len(files),
+        absorbed=absorbed,
+        raw_findings=raw,
+    )

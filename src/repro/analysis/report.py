@@ -1,0 +1,65 @@
+"""Output formats for lint results: human, JSON, GitHub annotations."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.core import Finding
+
+FORMATS = ("human", "json", "github")
+
+
+def render(
+    findings: Sequence[Finding],
+    fmt: str,
+    *,
+    files_checked: int,
+    absorbed: int,
+) -> str:
+    if fmt == "json":
+        return render_json(findings, files_checked=files_checked, absorbed=absorbed)
+    if fmt == "github":
+        return render_github(findings)
+    return render_human(findings, files_checked=files_checked, absorbed=absorbed)
+
+
+def render_human(
+    findings: Sequence[Finding], *, files_checked: int, absorbed: int
+) -> str:
+    lines = [f.format_human() for f in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    tail = (
+        f"{files_checked} files checked: "
+        f"{errors} error(s), {warnings} warning(s)"
+    )
+    if absorbed:
+        tail += f", {absorbed} baselined finding(s) absorbed"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], *, files_checked: int, absorbed: int
+) -> str:
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "summary": {
+            "files_checked": files_checked,
+            "errors": sum(1 for f in findings if f.severity == "error"),
+            "warnings": sum(1 for f in findings if f.severity == "warning"),
+            "absorbed_by_baseline": absorbed,
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+    return json.dumps(payload, indent=1)
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """One workflow-command annotation per finding (PR file views)."""
+    lines: List[str] = [f.format_github() for f in findings]
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Float-exactness rules (``flt-*``).
+
+The bit-for-bit contract means every backend must reproduce the
+reference scalar fold *exactly* — same operations, same association
+order, full float64 width.  These rules police the kernel code where
+that fold is the only sanctioned reduction: higher-precision summation
+(``math.fsum``), builtin ``sum()`` over float sequences (one refactor
+away from a different association order), and dtype narrowing that
+silently drops mantissa bits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.astutil import collect_import_aliases, resolve_call_target
+from repro.analysis.core import FileContext, Finding, Rule, register_rule
+
+#: Kernel code: the backends plus the MGL algorithm stack and the SACS
+#: chain solver they share.
+KERNEL_SCOPES: Tuple[str, ...] = (
+    "repro/kernels",
+    "repro/mgl",
+    "repro/core/sacs.py",
+)
+
+_NARROW_DTYPES = {"float32", "float16", "f4", "f2", "half", "single"}
+
+
+def _is_int_valued(node: ast.expr) -> bool:
+    """Conservative proof that an expression is integer-valued."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, int)  # bool included: sums as exact int
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"len", "int", "ord", "bool"}
+    if isinstance(node, (ast.Compare, ast.BoolOp)):
+        return True  # bools sum as exact ints
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        return True
+    if isinstance(node, ast.IfExp):
+        return _is_int_valued(node.body) and _is_int_valued(node.orelse)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod)
+    ):
+        return _is_int_valued(node.left) and _is_int_valued(node.right)
+    return False
+
+
+def _sum_argument_is_int(call: ast.Call) -> bool:
+    """Is ``sum(...)``'s first argument provably an int sequence?"""
+    if not call.args:
+        return True  # malformed; not this rule's business
+    arg = call.args[0]
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        return _is_int_valued(arg.elt)
+    if isinstance(arg, (ast.List, ast.Tuple)):
+        return all(_is_int_valued(elt) for elt in arg.elts)
+    if isinstance(arg, ast.Call) and isinstance(arg.func, ast.Name):
+        if arg.func.id == "range":
+            return True
+    return False
+
+
+@register_rule
+class FsumRule(Rule):
+    """``math.fsum`` is *more* accurate than the scalar fold — and that
+    is exactly the bug: it cannot be reproduced by the documented
+    left-to-right float64 reduction every backend implements."""
+
+    id = "flt-fsum"
+    severity = "error"
+    description = "math.fsum breaks fold-order equivalence in kernel code"
+    scopes = KERNEL_SCOPES
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = collect_import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if resolve_call_target(node.func, aliases) == "math.fsum":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "math.fsum uses compensated summation; the sanctioned "
+                    "reduction is the plain left-to-right float64 fold "
+                    "(use an explicit accumulation loop or builtin sum "
+                    "with a documented order)",
+                )
+
+
+@register_rule
+class FloatSumRule(Rule):
+    """Builtin ``sum()`` over floats in kernel code.
+
+    ``sum()`` happens to be the left fold today, but it reads as "any
+    reduction" and gets swapped for np.sum/fsum in refactors, changing
+    association order.  Int sums (counts, ``sum(1 for ...)``,
+    ``sum(len(x) ...)``) are exempt — integer addition is exact in any
+    order.  A genuine float ``sum()`` that *is* the documented reference
+    fold gets an explicit ``# repro: allow[flt-sum]`` with the reason.
+    """
+
+    id = "flt-sum"
+    severity = "warning"
+    description = "builtin sum() over a (possibly) float sequence in kernel code"
+    scopes = KERNEL_SCOPES
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+                and not _sum_argument_is_int(node)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "sum() over a float sequence: the reduction order is an "
+                    "exactness contract here — make the fold explicit, or "
+                    "suppress with the reason if this call *is* the "
+                    "documented reference fold",
+                )
+
+
+@register_rule
+class DtypeNarrowingRule(Rule):
+    """float32/float16 narrowing drops mantissa bits placements depend on."""
+
+    id = "flt-narrow"
+    severity = "error"
+    description = "dtype narrowing below float64 in kernel code"
+    scopes = KERNEL_SCOPES
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            # np.float32(...) constructor or np.float32 dtype reference.
+            if isinstance(node, ast.Attribute) and node.attr in _NARROW_DTYPES:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.attr} narrows below float64; every kernel "
+                    "quantity that can reach a placement must stay float64",
+                )
+            # .astype("float32") / dtype="float32" string spellings.
+            elif isinstance(node, ast.Call):
+                checked: list[ast.expr] = []
+                if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+                    checked.extend(node.args[:1])
+                checked.extend(
+                    kw.value for kw in node.keywords if kw.arg == "dtype"
+                )
+                for arg in checked:
+                    if (
+                        isinstance(arg, ast.Constant)
+                        and isinstance(arg.value, str)
+                        and arg.value.lstrip("<>=") in _NARROW_DTYPES
+                    ):
+                        yield self.finding(
+                            ctx,
+                            arg,
+                            f"dtype {arg.value!r} narrows below float64; "
+                            "kernel arrays must stay float64",
+                        )
+
+
+FLOAT_RULES = (FsumRule, FloatSumRule, DtypeNarrowingRule)

@@ -1,0 +1,310 @@
+"""Fork-safety rules (``frk-*``).
+
+The multiprocess backend forks persistent pool workers.  Objects that
+cross the fork boundary — the worker entry function's closure, its
+``args``, and any module global it reads — must not capture resources
+whose kernel-side state does not survive a fork: threads (only the
+forking thread exists in the child), locks (can be inherited *held* by
+a thread that does not exist), sockets and open file handles (shared
+descriptor offsets, double-close hazards).
+
+Shared-memory blocks are the other side: every ``SharedMemory``
+acquisition must have an owner responsible for ``close()`` (and
+``unlink()`` for creators) on all exits — a local binding with no
+``try/finally`` is a leak on the first exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.astutil import (
+    collect_import_aliases,
+    dotted_name,
+    is_self_attribute,
+    resolve_call_target,
+)
+from repro.analysis.core import FileContext, Finding, Rule, register_rule
+
+FORK_SCOPES: Tuple[str, ...] = ("repro/kernels",)
+
+#: Constructors whose instances must not cross a fork boundary.
+_FORK_UNSAFE_CALLS = {
+    "threading.Thread": "a thread",
+    "threading.Lock": "a lock",
+    "threading.RLock": "a lock",
+    "threading.Condition": "a condition variable",
+    "threading.Semaphore": "a semaphore",
+    "threading.BoundedSemaphore": "a semaphore",
+    "threading.Event": "an event",
+    "socket.socket": "a socket",
+    "socket.create_connection": "a socket",
+    "socket.create_server": "a socket",
+    "open": "an open file handle",
+}
+
+#: Conventional worker-entry names checked even without a visible
+#: ``Process(target=...)`` call site in the same module.
+_WORKER_ENTRY_NAMES = {"_pool_worker"}
+
+
+def _risky_kind(call: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    if not isinstance(call, ast.Call):
+        return None
+    target = resolve_call_target(call.func, aliases)
+    if target is None:
+        return None
+    return _FORK_UNSAFE_CALLS.get(target)
+
+
+def _module_level_risky_names(
+    tree: ast.Module, aliases: Dict[str, str]
+) -> Dict[str, str]:
+    """Module globals bound to fork-unsafe resources."""
+    out: Dict[str, str] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            kind = _risky_kind(stmt.value, aliases)
+            if kind is None:
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = kind
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            kind = _risky_kind(stmt.value, aliases)
+            if kind is not None and isinstance(stmt.target, ast.Name):
+                out[stmt.target.id] = kind
+    return out
+
+
+def _self_risky_attrs(tree: ast.Module, aliases: Dict[str, str]) -> Dict[str, str]:
+    """``self.X`` attributes assigned fork-unsafe resources anywhere."""
+    out: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        kind = _risky_kind(node.value, aliases)
+        if kind is None:
+            continue
+        for target in node.targets:
+            if is_self_attribute(target) and isinstance(target, ast.Attribute):
+                out[target.attr] = kind
+    return out
+
+
+def _process_spawn_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    """Every ``Process(...)`` / ``ctx.Process(...)`` construction."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is not None and name.split(".")[-1] == "Process":
+            yield node
+
+
+@register_rule
+class ForkCaptureRule(Rule):
+    """Fork-unsafe objects reachable from pool-worker task closures."""
+
+    id = "frk-capture"
+    severity = "error"
+    description = "thread/lock/socket/file capture across the fork boundary"
+    scopes = FORK_SCOPES
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = collect_import_aliases(ctx.tree)
+        risky_globals = _module_level_risky_names(ctx.tree, aliases)
+        risky_attrs = _self_risky_attrs(ctx.tree, aliases)
+        target_names: Set[str] = set(_WORKER_ENTRY_NAMES)
+
+        for call in _process_spawn_calls(ctx.tree):
+            target = next(
+                (kw.value for kw in call.keywords if kw.arg == "target"),
+                call.args[0] if call.args else None,
+            )
+            if isinstance(target, ast.Lambda):
+                yield self.finding(
+                    ctx,
+                    target,
+                    "a lambda Process target captures its defining frame "
+                    "across the fork; use a module-level worker function "
+                    "taking explicit picklable arguments",
+                )
+            elif isinstance(target, ast.Name):
+                target_names.add(target.id)
+            elif target is not None and is_self_attribute(target):
+                yield self.finding(
+                    ctx,
+                    target,
+                    "a bound method Process target drags its whole instance "
+                    "(locks, pipes, pools) across the fork; use a "
+                    "module-level worker function",
+                )
+            # Args that smuggle fork-unsafe state into the child.
+            args_kw = next(
+                (kw.value for kw in call.keywords if kw.arg == "args"), None
+            )
+            if isinstance(args_kw, (ast.Tuple, ast.List)):
+                for arg in args_kw.elts:
+                    yield from self._check_task_value(ctx, arg, risky_attrs)
+
+        # Worker entry functions must not read fork-unsafe globals.
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in target_names
+            ):
+                yield from self._check_worker_body(ctx, node, risky_globals)
+
+    def _check_task_value(
+        self, ctx: FileContext, arg: ast.expr, risky_attrs: Dict[str, str]
+    ) -> Iterator[Finding]:
+        if isinstance(arg, ast.Name) and arg.id == "self":
+            yield self.finding(
+                ctx,
+                arg,
+                "passing self to a worker process captures every attribute "
+                "— including pre-fork locks, pipes and threads",
+            )
+        elif is_self_attribute(arg) and isinstance(arg, ast.Attribute):
+            kind = risky_attrs.get(arg.attr)
+            if kind is not None:
+                yield self.finding(
+                    ctx,
+                    arg,
+                    f"self.{arg.attr} holds {kind} created pre-fork; it "
+                    "must not be handed to a worker process",
+                )
+
+    def _check_worker_body(
+        self,
+        ctx: FileContext,
+        fn: ast.AST,
+        risky_globals: Dict[str, str],
+    ) -> Iterator[Finding]:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        local_names: Set[str] = {a.arg for a in fn.args.args}
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        local_names.add(target.id)
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in risky_globals
+                and node.id not in local_names
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"worker entry reads module global {node.id!r}, which "
+                    f"holds {risky_globals[node.id]} created pre-fork",
+                )
+
+
+@register_rule
+class ShmLifecycleRule(Rule):
+    """``SharedMemory`` acquisitions must pair with close()/unlink().
+
+    A segment bound to a *local* name must be released on all exits —
+    the function needs a ``try/finally`` (or ``with closing(...)``)
+    whose cleanup calls ``close()``/``unlink()`` on that name.  Results
+    stored on ``self`` escape to an owner object whose own lifecycle
+    methods are responsible (and are themselves linted wherever they
+    live in scope).
+    """
+
+    id = "frk-shm-lifecycle"
+    severity = "error"
+    description = "SharedMemory acquired without close()/unlink() on all exits"
+    scopes = FORK_SCOPES
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(ctx, node)
+
+    def _check_function(self, ctx: FileContext, fn: ast.AST) -> Iterator[Finding]:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        cleanup_names = self._finally_cleanup_names(fn)
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.split(".")[-1] != "SharedMemory":
+                continue
+            binding = self._binding_for(fn, node)
+            if binding == "self":
+                continue  # escapes to the owner object's lifecycle
+            if binding is not None and binding in cleanup_names:
+                continue
+            if binding is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "SharedMemory(...) result is dropped; the segment (and "
+                    "its file-descriptor mapping) leaks — bind it and "
+                    "close()/unlink() it in a finally block",
+                )
+            else:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"SharedMemory(...) bound to local {binding!r} has no "
+                    "try/finally releasing it; an exception between here "
+                    "and the close() leaks the segment",
+                )
+
+    @staticmethod
+    def _binding_for(fn: ast.AST, call: ast.Call) -> Optional[str]:
+        """How the call's result is bound: local name, 'self', or None."""
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and node.value is call:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    return target.id
+                if is_self_attribute(target):
+                    return "self"
+            elif isinstance(node, ast.AnnAssign) and node.value is call:
+                if isinstance(node.target, ast.Name):
+                    return node.target.id
+                if is_self_attribute(node.target):
+                    return "self"
+            elif isinstance(node, ast.withitem) and node.context_expr is call:
+                # ``with closing(SharedMemory(...))`` style is handled by
+                # the with-statement's own exit; treat as cleaned.
+                if node.optional_vars is None or isinstance(
+                    node.optional_vars, ast.Name
+                ):
+                    return "self"
+        return None
+
+    @staticmethod
+    def _finally_cleanup_names(fn: ast.AST) -> Set[str]:
+        """Local names close()d or unlink()ed inside a finally block."""
+        names: Set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in {"close", "unlink"}
+                        and isinstance(sub.func.value, ast.Name)
+                    ):
+                        names.add(sub.func.value.id)
+        return names
+
+
+FORK_RULES = (ForkCaptureRule, ShmLifecycleRule)

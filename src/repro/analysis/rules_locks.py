@@ -1,0 +1,201 @@
+"""Lock-discipline rules (``lck-*``).
+
+A class declares its guarded state with a class-level ``_GUARDED_BY``
+dict literal mapping attribute names to the ``self.<lock>`` attribute
+that must be held::
+
+    class Session:
+        _GUARDED_BY = {
+            "_queue": "_mutex",
+            "dispatches": "_mutex",
+        }
+
+The analyzer then walks every method scope-aware: a read or write of
+``self.<attr>`` (including mutation through a method call such as
+``self._queue.append(...)``) counts as guarded only inside an active
+``with self.<lock>:`` block of *that* function.  ``__init__`` and
+``__del__`` are exempt — the object is not shared before publication
+nor during finalization.  Helper methods that are documented to be
+called with the lock already held declare it by naming convention
+(``*_locked``) or suppress per line with the reason.
+
+The rules fire anywhere a ``_GUARDED_BY`` map is declared, so they are
+not path-scoped: declaring the map *is* opting in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.astutil import FunctionNode, is_self_attribute
+from repro.analysis.core import FileContext, Finding, Rule, register_rule
+
+#: Methods where unguarded access is sanctioned by construction.
+_EXEMPT_METHODS = {"__init__", "__del__", "__post_init__"}
+
+#: Suffix marking a helper documented to run with the lock already held.
+_LOCKED_SUFFIX = "_locked"
+
+
+def _guarded_by_map(cls: ast.ClassDef) -> Optional[Dict[str, str]]:
+    """The class's ``_GUARDED_BY`` dict literal, if declared."""
+    for stmt in cls.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if (
+            not isinstance(target, ast.Name)
+            or target.id != "_GUARDED_BY"
+            or not isinstance(value, ast.Dict)
+        ):
+            continue
+        out: Dict[str, str] = {}
+        for key, val in zip(value.keys, value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(val, ast.Constant)
+                and isinstance(val.value, str)
+            ):
+                out[key.value] = val.value
+        return out
+    return None
+
+
+def _with_lock_names(node: ast.With) -> Set[str]:
+    """Lock attribute names acquired by ``with self.<lock>[, ...]:``."""
+    names: Set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        if is_self_attribute(expr) and isinstance(expr, ast.Attribute):
+            names.add(expr.attr)
+    return names
+
+
+class _MethodWalker:
+    """Scope-aware walk of one method: tracks the held-lock set.
+
+    Nested functions reset the held set (they may run on another thread,
+    after the lock was released); comprehensions keep it (they execute
+    synchronously in the enclosing frame's dynamic extent).
+    """
+
+    def __init__(self, guarded: Dict[str, str]) -> None:
+        self.guarded = guarded
+        #: (node, attr, lock, nested) access records lacking the lock.
+        self.unguarded: List[Tuple[ast.Attribute, str, str]] = []
+        #: (with-node, lock) re-acquisitions of an already-held lock.
+        self.reacquired: List[Tuple[ast.With, str]] = []
+
+    def walk(self, fn: FunctionNode) -> None:
+        for stmt in fn.body:
+            self._visit(stmt, held=frozenset())
+
+    def _visit(self, node: ast.AST, held: FrozenSet[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested callable may outlive the lock scope: analyze its
+            # body with nothing held.
+            body = node.body if not isinstance(node, ast.Lambda) else [node.body]
+            for child in body:
+                self._visit(child, held=frozenset())
+            return
+        if isinstance(node, ast.With):
+            locks = _with_lock_names(node)
+            for lock in locks & held:
+                self.reacquired.append((node, lock))
+            # The context expressions themselves evaluate before acquisition.
+            for item in node.items:
+                self._visit(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self._visit(item.optional_vars, held)
+            inner = held | locks
+            for child in node.body:
+                self._visit(child, inner)
+            return
+        if isinstance(node, ast.Attribute) and is_self_attribute(node):
+            lock = self.guarded.get(node.attr)
+            if lock is not None and lock not in held:
+                self.unguarded.append((node, node.attr, lock))
+            # Fall through: subscripts/calls hang off this node's parent,
+            # and self has no children worth visiting.
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+
+def _iter_guarded_classes(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.ClassDef, Dict[str, str]]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            guarded = _guarded_by_map(node)
+            if guarded:
+                yield node, guarded
+
+
+@register_rule
+class UnguardedAccessRule(Rule):
+    """Access to ``_GUARDED_BY`` state outside its declared lock."""
+
+    id = "lck-unguarded"
+    severity = "error"
+    description = "guarded attribute accessed outside its declared lock"
+    scopes = ()  # fires wherever a _GUARDED_BY map is declared
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls, guarded in _iter_guarded_classes(ctx.tree):
+            for stmt in cls.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name in _EXEMPT_METHODS:
+                    continue
+                if stmt.name.endswith(_LOCKED_SUFFIX):
+                    # Documented caller-holds-the-lock helper.
+                    continue
+                walker = _MethodWalker(guarded)
+                walker.walk(stmt)
+                for node, attr, lock in walker.unguarded:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{cls.name}.{attr} is guarded by self.{lock} "
+                        f"(_GUARDED_BY) but accessed here without it; hold "
+                        f"the lock, rename the helper to *{_LOCKED_SUFFIX}, "
+                        "or suppress with the reason",
+                    )
+
+
+@register_rule
+class NestedAcquireRule(Rule):
+    """Re-acquiring a held ``self.<lock>`` — deadlock for plain Locks."""
+
+    id = "lck-nested"
+    severity = "error"
+    description = "with self.<lock> nested inside itself (self-deadlock)"
+    scopes = ()
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, fn: FunctionNode
+    ) -> Iterator[Finding]:
+        walker = _MethodWalker({})
+        walker.walk(fn)
+        for node, lock in walker.reacquired:
+            yield self.finding(
+                ctx,
+                node,
+                f"self.{lock} is already held here; a plain threading.Lock "
+                "self-deadlocks on re-acquisition",
+            )
+
+
+LOCK_RULES = (UnguardedAccessRule, NestedAcquireRule)

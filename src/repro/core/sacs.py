@@ -216,11 +216,13 @@ class SortAheadShifter:
     def prepare(self, region: LocalRegion) -> None:
         """Pre-sort the localCells of the region about to be processed."""
         self._context = self._resolve().build_sacs_context(region)
-        self._region_id = id(region)
+        # Identity token for cache invalidation only — never ordered,
+        # iterated or persisted, so the address is safe here.
+        self._region_id = id(region)  # repro: allow[det-id-key]
 
     def shift(self, region: LocalRegion, target: Cell, insertion: InsertionPoint) -> ShiftOutcome:
         """Run single-pass SACS for one insertion point."""
-        if self._context is None or self._region_id != id(region):
+        if self._context is None or self._region_id != id(region):  # repro: allow[det-id-key]
             self.prepare(region)
         assert self._context is not None
         return self._resolve().shift_sacs(region, target, insertion, self._context)

@@ -114,7 +114,10 @@ def default_worker_count() -> int:
     env = os.environ.get(WORKERS_ENV_VAR)
     if env:
         return parse_worker_count(env)
-    return max(1, min(8, os.cpu_count() or 1))
+    # Worker *count* is result-neutral by construction (shard plans and
+    # merges are worker-count-invariant), so sizing the pool by the host
+    # is sanctioned here and nowhere else.
+    return max(1, min(8, os.cpu_count() or 1))  # repro: allow[det-cpu-count]
 
 
 def _fork_available() -> bool:
@@ -947,7 +950,7 @@ class MultiprocessKernelBackend(KernelBackend):
             ]
         active = state.workers[: min(len(state.workers), len(nonempty))]
         pending = {worker_id: deque() for worker_id in range(len(active))}
-        conn_index = {id(active[i].conn): i for i in range(len(active))}
+        conn_index = {active[i].conn: i for i in range(len(active))}
         try:
             for k, pos in enumerate(nonempty):
                 worker_id = k % len(active)
@@ -959,7 +962,7 @@ class MultiprocessKernelBackend(KernelBackend):
                     active[i].conn for i in range(len(active)) if pending[i]
                 ]
                 for conn in mp_connection.wait(busy):
-                    worker_id = conn_index[id(conn)]
+                    worker_id = conn_index[conn]
                     payload = self._recv_reply(active[worker_id])
                     results[pending[worker_id].popleft()] = payload
                     outstanding -= 1
@@ -1045,7 +1048,7 @@ class MultiprocessKernelBackend(KernelBackend):
         active = state.workers[: min(len(state.workers), n_workers)]
         n_workers = len(active)
         rank_of: List[Optional[int]] = [None] * n_workers
-        conn_index = {id(active[i].conn): i for i in range(n_workers)}
+        conn_index = {active[i].conn: i for i in range(n_workers)}
 
         #: Commit log: one entry per accepted target, ``(hazard_rects,
         #: commits)`` in global processing order.  ``hazard_rects`` holds
@@ -1125,7 +1128,7 @@ class MultiprocessKernelBackend(KernelBackend):
                 if not busy:  # pragma: no cover - defensive
                     raise RuntimeError("wavefront stalled with work pending")
                 for conn in mp_connection.wait(busy):
-                    worker_id = conn_index[id(conn)]
+                    worker_id = conn_index[conn]
                     _target_index, placed, work, commits = self._recv_reply(
                         active[worker_id]
                     )

@@ -74,7 +74,9 @@ class CurveEvaluation:
 # ----------------------------------------------------------------------
 def evaluate_piecewise(pieces: Sequence[BreakpointPiece], constant: float, x: float) -> float:
     """Evaluate ``constant + sum of pieces`` at ``x`` directly (O(n))."""
-    return constant + sum(p.value(x) for p in pieces)
+    # This IS the documented left-to-right float64 reference fold that
+    # the fused evaluators must match bit-for-bit.
+    return constant + sum(p.value(x) for p in pieces)  # repro: allow[flt-sum]
 
 
 # ----------------------------------------------------------------------

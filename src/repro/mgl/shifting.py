@@ -314,11 +314,13 @@ class OriginalShifter:
     def prepare(self, region: LocalRegion) -> None:
         """Precompute the flattened row view of the region."""
         self._view = build_row_view(region)
-        self._region_id = id(region)
+        # Identity token for cache invalidation only — never ordered,
+        # iterated or persisted, so the address is safe here.
+        self._region_id = id(region)  # repro: allow[det-id-key]
 
     def shift(self, region: LocalRegion, target: Cell, insertion: InsertionPoint) -> ShiftOutcome:
         """Run the multi-pass cell-shifting algorithm for one insertion point."""
-        if self._view is None or self._region_id != id(region):
+        if self._view is None or self._region_id != id(region):  # repro: allow[det-id-key]
             self.prepare(region)
         return shift_cells_original(region, target, insertion, self._view)
 

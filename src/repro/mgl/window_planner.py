@@ -82,7 +82,9 @@ def window_is_promising(
             break
     if not band_found:
         return False
-    return sum(frees.values()) >= target.area * (1.0 + slack)
+    # Left-to-right fold over the insertion-ordered row dict is the
+    # reference predicate every backend shares; keep the builtin sum.
+    return sum(frees.values()) >= target.area * (1.0 + slack)  # repro: allow[flt-sum]
 
 
 def grow_window(window: Window, dx: float, drows: int, layout: Layout) -> Window:

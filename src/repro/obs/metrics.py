@@ -63,6 +63,14 @@ def _key(name: str, labels: Dict[str, Any]) -> _Key:
 class MetricsRegistry:
     """Thread-safe counters, gauges and fixed-bucket histograms."""
 
+    #: Lock-discipline contract, enforced statically by ``repro lint``.
+    _GUARDED_BY = {
+        "_counters": "_lock",
+        "_gauges": "_lock",
+        "_hists": "_lock",
+        "_hist_bounds": "_lock",
+    }
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[_Key, float] = {}

@@ -79,6 +79,9 @@ class _InflightGauge:
     immediate backpressure rather than a convoy.
     """
 
+    #: Lock-discipline contract, enforced statically by ``repro lint``.
+    _GUARDED_BY = {"_count": "_lock"}
+
     def __init__(self, limit: int) -> None:
         self.limit = limit
         self._count = 0
@@ -116,6 +119,16 @@ class LegalizationServer:
 
     or blocking, as the CLI does: ``server.serve_forever()``.
     """
+
+    #: Lock-discipline contract, enforced statically by ``repro lint``
+    #: (rule ``lck-unguarded``): these attributes may only be touched
+    #: under ``self._mutex`` outside ``__init__``.
+    _GUARDED_BY = {
+        "_sessions": "_mutex",
+        "_closed_sessions": "_mutex",
+        "_draining": "_mutex",
+        "_session_counter": "_mutex",
+    }
 
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
@@ -308,6 +321,7 @@ class LegalizationServer:
     def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
         with self._mutex:
             sessions = len(self._sessions)
+            draining = self._draining
         inflight = self._inflight.value
         return ok_response(
             "ping",
@@ -316,12 +330,15 @@ class LegalizationServer:
             inflight=inflight,
             max_sessions=self.config.max_sessions,
             max_inflight=self.config.max_inflight,
-            draining=self._draining,
+            draining=draining,
         )
 
     def _op_open_session(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        if self._draining:
-            raise ProtocolError("shutting_down", "daemon is draining; no new sessions")
+        with self._mutex:
+            if self._draining:
+                raise ProtocolError(
+                    "shutting_down", "daemon is draining; no new sessions"
+                )
         design = request_field(request, "design", dict)
         config = SessionConfig.from_request(
             request, default_backend=self.config.default_backend
@@ -377,8 +394,11 @@ class LegalizationServer:
         )
 
     def _op_apply_deltas(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        if self._draining:
-            raise ProtocolError("shutting_down", "daemon is draining; no new batches")
+        with self._mutex:
+            if self._draining:
+                raise ProtocolError(
+                    "shutting_down", "daemon is draining; no new batches"
+                )
         session = self._session_for(request)
         deltas = request_field(request, "deltas", list)
         wait = bool(request_field(request, "wait", bool, required=False, default=True))
@@ -395,6 +415,7 @@ class LegalizationServer:
             sessions = {
                 name: s for name, s in self._sessions.items() if s is not None
             }
+            draining = self._draining
         return {
             "sessions": len(sessions),
             "max_sessions": self.config.max_sessions,
@@ -403,7 +424,7 @@ class LegalizationServer:
             "queue_depths": {
                 name: s.queue_depth() for name, s in sessions.items()
             },
-            "draining": self._draining,
+            "draining": draining,
         }
 
     def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -442,9 +463,7 @@ class LegalizationServer:
             obs_metrics.set_gauge("repro_session_queue_depth", depth, session=name)
             session_summaries[name] = {
                 "queue_depth": depth,
-                "dispatches": session.dispatches,
-                "coalesced_batches": session.coalesced_batches,
-                "failed_batches": session.failed_batches,
+                **session.counters(),
                 "engine": session.engine.lifetime_summary(),
             }
         snapshot = obs_metrics.REGISTRY.snapshot()
@@ -459,8 +478,11 @@ class LegalizationServer:
         return response
 
     def _op_repack(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        if self._draining:
-            raise ProtocolError("shutting_down", "daemon is draining; no new work")
+        with self._mutex:
+            if self._draining:
+                raise ProtocolError(
+                    "shutting_down", "daemon is draining; no new work"
+                )
         session = self._session_for(request)
         wait = bool(request_field(request, "wait", bool, required=False, default=False))
         result = session.request_repack(wait=wait)

@@ -205,6 +205,22 @@ class Session:
     long as they actually occupy the daemon.
     """
 
+    #: Lock-discipline contract, enforced statically by ``repro lint``
+    #: (rule ``lck-unguarded``): these attributes may only be touched
+    #: under ``self._mutex`` outside ``__init__``.
+    _GUARDED_BY = {
+        "_queue": "_mutex",
+        "_dispatching": "_mutex",
+        "_closed": "_mutex",
+        "_failed": "_mutex",
+        "_seq": "_mutex",
+        "dispatches": "_mutex",
+        "coalesced_batches": "_mutex",
+        "failed_batches": "_mutex",
+        "async_errors": "_mutex",
+        "ledger": "_mutex",
+    }
+
     def __init__(self, name: str, design: Dict[str, Any], config: SessionConfig,
                  *, inflight=None) -> None:
         self.name = name
@@ -247,11 +263,21 @@ class Session:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._mutex:
+            return self._closed
 
     def queue_depth(self) -> int:
         with self._mutex:
             return len(self._queue)
+
+    def counters(self) -> Dict[str, int]:
+        """Dispatcher counters as one consistent snapshot."""
+        with self._mutex:
+            return {
+                "dispatches": self.dispatches,
+                "coalesced_batches": self.coalesced_batches,
+                "failed_batches": self.failed_batches,
+            }
 
     # ------------------------------------------------------------------
     # Submission API (called from connection-handler threads)
@@ -302,17 +328,21 @@ class Session:
         """A point-in-time summary (racy by nature; barrier first if exact)."""
         summary = self.engine.lifetime_summary()
         layout = self.engine.layout
+        with self._mutex:
+            counters = {
+                "closed": self._closed,
+                "failed": self._failed,
+                "queue_depth": len(self._queue),
+                "dispatches": self.dispatches,
+                "coalesced_batches": self.coalesced_batches,
+                "failed_batches": self.failed_batches,
+                "async_errors": len(self.async_errors),
+                "ledger_entries": len(self.ledger),
+            }
         return {
             "session": self.name,
             "config": self.config.to_dict(),
-            "closed": self._closed,
-            "failed": self._failed,
-            "queue_depth": self.queue_depth(),
-            "dispatches": self.dispatches,
-            "coalesced_batches": self.coalesced_batches,
-            "failed_batches": self.failed_batches,
-            "async_errors": len(self.async_errors),
-            "ledger_entries": len(self.ledger),
+            **counters,
             "engine": summary,
             "fingerprint": layout_fingerprint(layout) if layout is not None else None,
             **self.base_stats,
@@ -334,7 +364,11 @@ class Session:
             self._drive(barrier)
         final = self.stats()
         if return_ledger:
-            final["ledger"] = self.ledger
+            # The queue is drained and the session closed, but snapshot
+            # under the mutex anyway: stats() above may race a ledger
+            # append from a dispatcher that started before the close.
+            with self._mutex:
+                final["ledger"] = list(self.ledger)
         if return_layout and self.engine.layout is not None:
             final["layout"] = layout_to_dict(self.engine.layout)
         self.engine.close()
@@ -394,17 +428,19 @@ class Session:
             self._dispatching = True
         try:
             while True:
+                batches = 0
                 with self._mutex:
                     if not self._queue:
                         self._dispatching = False
                         return
                     items = list(self._queue)
                     self._queue.clear()
-                self.dispatches += 1
+                    self.dispatches += 1
+                    batches = sum(1 for it in items if it.kind == "batch")
+                    if batches > 1:
+                        self.coalesced_batches += batches - 1
                 obs_metrics.inc("repro_session_dispatches_total")
-                batches = sum(1 for it in items if it.kind == "batch")
                 if batches > 1:
-                    self.coalesced_batches += batches - 1
                     obs_metrics.inc(
                         "repro_session_coalesced_batches_total", batches - 1
                     )
@@ -435,8 +471,10 @@ class Session:
         if item.kind == "barrier":
             item.result = {"ok": True}
             return
-        if self._failed is not None:
-            item.error = ProtocolError("session_failed", self._failed)
+        with self._mutex:
+            failed = self._failed
+        if failed is not None:
+            item.error = ProtocolError("session_failed", failed)
             self._record_async_error(item)
             return
         try:
@@ -445,10 +483,14 @@ class Session:
             with obs.context(session=self.name, batch=item.seq):
                 if item.kind == "repack":
                     result = self.engine.repack()
-                    self.ledger.append({"kind": "repack"})
+                    with self._mutex:
+                        self.ledger.append({"kind": "repack"})
                 else:
                     result = self.engine.apply(item.deltas)
-                    self.ledger.append({"kind": "batch", "deltas": item.raw_deltas})
+                    with self._mutex:
+                        self.ledger.append(
+                            {"kind": "batch", "deltas": item.raw_deltas}
+                        )
         except ValueError as exc:
             # validate_deltas rejected the batch: nothing mutated, the
             # session stays fully usable, the batch is not in the ledger.
@@ -459,13 +501,16 @@ class Session:
             # apply() only raises past validation on an internal error,
             # after which it drops the engine's layout: the session is
             # dead, but the daemon and every other session live on.
-            self._failed = f"{type(exc).__name__}: {exc}"
-            item.error = ProtocolError("session_failed", self._failed)
+            message = f"{type(exc).__name__}: {exc}"
+            with self._mutex:
+                self._failed = message
+            item.error = ProtocolError("session_failed", message)
             self._record_async_error(item)
             return
         stats = result.stats
         if not result.success:
-            self.failed_batches += 1
+            with self._mutex:
+                self.failed_batches += 1
         item.result = {
             "seq": item.seq,
             "mode": stats.mode,
@@ -484,9 +529,11 @@ class Session:
 
     def _record_async_error(self, item: _Pending) -> None:
         if item.error is not None:
-            self.async_errors.append(
-                {"seq": item.seq, "code": item.error.code, "message": str(item.error)}
-            )
+            with self._mutex:
+                self.async_errors.append(
+                    {"seq": item.seq, "code": item.error.code,
+                     "message": str(item.error)}
+                )
 
 
 # ----------------------------------------------------------------------

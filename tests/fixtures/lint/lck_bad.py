@@ -1,0 +1,22 @@
+"""Fixture: both lck-* rules must fire (lock rules are not path-scoped)."""
+
+import threading
+
+
+class Counter:
+    _GUARDED_BY = {"_count": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        self._count += 1  # lck-unguarded
+
+    def peek(self):
+        return self._count  # lck-unguarded
+
+    def reset(self):
+        with self._lock:
+            with self._lock:  # lck-nested (self-deadlock)
+                self._count = 0

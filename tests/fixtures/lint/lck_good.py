@@ -1,0 +1,27 @@
+"""Fixture: the lock-discipline-clean mirror of lck_bad — zero findings."""
+
+import threading
+
+
+class Counter:
+    _GUARDED_BY = {"_count": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def value(self):
+        with self._lock:
+            return self._count
+
+    def _reset_locked(self):
+        # *_locked suffix: documented caller-holds-the-lock helper.
+        self._count = 0
+
+    def drain(self):
+        with self._lock:
+            self._reset_locked()

@@ -1,0 +1,28 @@
+"""Fixture: every det-* rule must fire exactly once in this file."""
+
+import os
+import random
+import time
+
+
+def shard_order(cells):
+    out = []
+    for cell in set(cells):  # det-set-iter
+        out.append(cell)
+    return out
+
+
+def pool_size():
+    return os.cpu_count()  # det-cpu-count
+
+
+def jitter():
+    return random.random()  # det-unseeded-random
+
+
+def stamp():
+    return time.time()  # det-wall-clock
+
+
+def cache_token(region):
+    return id(region)  # det-id-key

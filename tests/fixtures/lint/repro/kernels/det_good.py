@@ -1,0 +1,33 @@
+"""Fixture: the determinism-clean mirror of det_bad — zero findings."""
+
+import random
+import time
+
+import numpy as np
+
+
+def shard_order(cells):
+    out = []
+    for cell in sorted(set(cells)):  # sorted: order is specified
+        out.append(cell)
+    return out
+
+
+def pool_size(configured):
+    return max(1, int(configured))  # host-independent
+
+
+def jitter(seed):
+    return random.Random(seed).random()  # explicitly seeded instance
+
+
+def jitter_np(seed):
+    return np.random.default_rng(seed).random()  # seeded generator
+
+
+def stamp():
+    return time.perf_counter()  # durations are telemetry, not wall clock
+
+
+def cache_token(region):
+    return region.index  # stable identity, not an address

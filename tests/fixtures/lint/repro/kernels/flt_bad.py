@@ -1,0 +1,21 @@
+"""Fixture: every flt-* rule must fire in this file."""
+
+import math
+
+import numpy as np
+
+
+def compensated(values):
+    return math.fsum(values)  # flt-fsum
+
+
+def folded(values):
+    return sum(values)  # flt-sum (not provably int)
+
+
+def narrowed(x):
+    return np.float32(x)  # flt-narrow
+
+
+def narrowed_astype(arr):
+    return arr.astype("float32")  # flt-narrow (string dtype)

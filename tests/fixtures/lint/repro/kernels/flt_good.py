@@ -1,0 +1,30 @@
+"""Fixture: the float-exactness-clean mirror of flt_bad — zero findings."""
+
+import numpy as np
+
+
+def explicit_fold(values):
+    total = 0.0
+    for value in values:  # the documented left-to-right float64 fold
+        total += value
+    return total
+
+
+def count(cells):
+    return sum(1 for _ in cells)  # int sum: exact in any order
+
+
+def total_len(shards):
+    return sum(len(shard) for shard in shards)  # int sum
+
+
+def ranked(n):
+    return sum(range(n))  # int sum
+
+
+def widened(arr):
+    return arr.astype("float64")  # full width is fine
+
+
+def as_double(x):
+    return np.float64(x)

@@ -1,0 +1,37 @@
+"""Fixture: every frk-* rule must fire in this file."""
+
+import multiprocessing
+import threading
+from multiprocessing import shared_memory
+
+_REGISTRY_LOCK = threading.Lock()
+
+
+def _pool_worker(conn):
+    with _REGISTRY_LOCK:  # frk-capture: pre-fork lock read by worker entry
+        conn.send("ready")
+
+
+class Pool:
+    def spawn_lambda(self):
+        return multiprocessing.Process(target=lambda: None)  # frk-capture
+
+    def spawn_bound(self):
+        return multiprocessing.Process(target=self.run)  # frk-capture
+
+    def spawn_self_arg(self):
+        return multiprocessing.Process(
+            target=_pool_worker, args=(self,)  # frk-capture
+        )
+
+    def run(self):
+        pass
+
+
+def leak_on_exception(name):
+    shm = shared_memory.SharedMemory(name=name)  # frk-shm-lifecycle
+    return bytes(shm.buf)
+
+
+def drop_segment():
+    shared_memory.SharedMemory(create=True, size=8)  # frk-shm-lifecycle

@@ -1,0 +1,34 @@
+"""Fixture: the fork-safety-clean mirror of frk_bad — zero findings."""
+
+from multiprocessing import shared_memory
+
+
+def _pool_worker(conn):
+    while True:
+        task = conn.recv()
+        if task is None:
+            return
+        conn.send(task)
+
+
+def spawn(ctx, conn):
+    proc = ctx.Process(target=_pool_worker, args=(conn,))
+    proc.start()
+    return proc
+
+
+def read_segment(name):
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(shm.buf)
+    finally:
+        shm.close()
+
+
+class Segment:
+    def __init__(self, name):
+        # Escapes to self: the owner's lifecycle methods release it.
+        self.shm = shared_memory.SharedMemory(name=name)
+
+    def close(self):
+        self.shm.close()

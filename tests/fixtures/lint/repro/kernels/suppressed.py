@@ -1,0 +1,12 @@
+"""Fixture: violations silenced by per-line suppressions — zero findings."""
+
+import os
+
+
+def cache_token(region):
+    # Identity token, never ordered or persisted.
+    return id(region)  # repro: allow[det-id-key]
+
+
+def pool_size():
+    return os.cpu_count()  # repro: allow[*] result-neutral by construction

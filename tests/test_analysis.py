@@ -1,0 +1,323 @@
+"""Tests for ``repro lint`` — the project-specific static analyzer.
+
+Covers the contract the analyzer itself enforces on the repo:
+
+* every rule family has a proven fixture pair (the bad file fires the
+  expected rules, the good mirror is silent);
+* per-line ``# repro: allow[...]`` suppressions and the count-based
+  baseline round-trip;
+* the CLI exit-code contract (0 clean / 1 findings / 2 usage errors);
+* the repository's own ``src`` tree is clean under ``--strict`` with
+  the committed baseline empty — which is also the machine-checked
+  regression for every concurrency/determinism fix this analyzer
+  motivated;
+* a full-tree run stays fast (< 5 s).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    BaselineError,
+    Finding,
+    all_rules,
+    load_baseline,
+    parse_suppressions,
+    run_lint,
+    save_baseline,
+)
+from repro.analysis.cli import format_rule_table, main as lint_main
+from repro.analysis.engine import instantiate_rules, iter_python_files, lint_file
+from repro.analysis.report import render
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+def fired(rel: str) -> dict:
+    """Rule id -> count for one fixture file (scope-matched via rel)."""
+    findings = lint_file(FIXTURES / rel, rel, instantiate_rules())
+    out: dict = {}
+    for finding in findings:
+        out[finding.rule] = out.get(finding.rule, 0) + 1
+    return out
+
+
+# ----------------------------------------------------------------------
+# Rule-family fixture pairs: bad fires, good mirror is silent
+# ----------------------------------------------------------------------
+FAMILY_PAIRS = [
+    (
+        "determinism",
+        "repro/kernels/det_bad.py",
+        "repro/kernels/det_good.py",
+        {
+            "det-set-iter": 1,
+            "det-cpu-count": 1,
+            "det-unseeded-random": 1,
+            "det-wall-clock": 1,
+            "det-id-key": 1,
+        },
+    ),
+    (
+        "float-exactness",
+        "repro/kernels/flt_bad.py",
+        "repro/kernels/flt_good.py",
+        {"flt-fsum": 1, "flt-sum": 1, "flt-narrow": 2},
+    ),
+    (
+        "fork-safety",
+        "repro/kernels/frk_bad.py",
+        "repro/kernels/frk_good.py",
+        {"frk-capture": 4, "frk-shm-lifecycle": 2},
+    ),
+    (
+        "lock-discipline",
+        "lck_bad.py",
+        "lck_good.py",
+        {"lck-unguarded": 2, "lck-nested": 1},
+    ),
+]
+
+
+class TestRuleFamilies:
+    @pytest.mark.parametrize(
+        "family, bad, good, expected",
+        FAMILY_PAIRS,
+        ids=[case[0] for case in FAMILY_PAIRS],
+    )
+    def test_fixture_pair(self, family, bad, good, expected):
+        assert fired(bad) == expected, f"{family}: bad fixture mismatch"
+        assert fired(good) == {}, f"{family}: good fixture must be silent"
+
+    def test_every_family_is_registered(self):
+        ids = set(all_rules())
+        for prefix in ("det-", "flt-", "lck-", "frk-"):
+            assert any(i.startswith(prefix) for i in ids), prefix
+        table = format_rule_table()
+        for rule_id in ids:
+            assert rule_id in table
+
+    def test_scopes_keep_rules_out_of_unrelated_modules(self, tmp_path):
+        # The same hazards outside the placement-feeding scopes (e.g. in
+        # telemetry code) are sanctioned and must not fire.
+        target = tmp_path / "repro" / "obs" / "clock.py"
+        target.parent.mkdir(parents=True)
+        shutil.copyfile(FIXTURES / "repro" / "kernels" / "det_bad.py", target)
+        findings = lint_file(target, "repro/obs/clock.py", instantiate_rules())
+        assert findings == []
+
+    def test_select_restricts_rules(self):
+        rel = "repro/kernels/det_bad.py"
+        findings = lint_file(
+            FIXTURES / rel, rel, instantiate_rules(["det-id-key"])
+        )
+        assert {f.rule for f in findings} == {"det-id-key"}
+
+    def test_unknown_select_is_usage_error(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            instantiate_rules(["not-a-rule"])
+
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        findings = lint_file(bad, "broken.py", instantiate_rules())
+        assert [f.rule for f in findings] == ["parse-error"]
+        assert findings[0].severity == "error"
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_suppressed_fixture_is_silent(self):
+        assert fired("repro/kernels/suppressed.py") == {}
+
+    def test_parse_single_and_star(self):
+        source = (
+            "x = id(y)  # repro: allow[det-id-key] identity token\n"
+            "z = 1  # repro: allow[*]\n"
+            "w = 2  # unrelated comment\n"
+        )
+        sup = parse_suppressions(source)
+        assert sup == {1: {"det-id-key"}, 2: {"*"}}
+
+    def test_parse_multiple_ids(self):
+        sup = parse_suppressions("q()  # repro: allow[det-id-key, flt-sum]\n")
+        assert sup == {1: {"det-id-key", "flt-sum"}}
+
+    def test_marker_inside_string_is_inert(self):
+        sup = parse_suppressions('s = "# repro: allow[*]"\n')
+        assert sup == {}
+
+
+# ----------------------------------------------------------------------
+# Baseline round trip
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_round_trip_absorbs_exactly(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        first = run_lint([FIXTURES], root=FIXTURES, baseline_path=baseline)
+        assert first.findings, "fixture tree must have findings"
+        save_baseline(baseline, first.raw_findings)
+        second = run_lint([FIXTURES], root=FIXTURES, baseline_path=baseline)
+        assert second.findings == []
+        assert second.absorbed == len(first.raw_findings)
+
+    def test_new_debt_surfaces_past_the_count(self, tmp_path):
+        tree = tmp_path / "repro" / "kernels"
+        tree.mkdir(parents=True)
+        one = tree / "one.py"
+        one.write_text("a = id(object())\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        result = run_lint([tmp_path], root=tmp_path, baseline_path=baseline)
+        save_baseline(baseline, result.raw_findings)
+        # A second violation in the same (path, rule) exceeds the count.
+        one.write_text("a = id(object())\nb = id(object())\n", encoding="utf-8")
+        again = run_lint([tmp_path], root=tmp_path, baseline_path=baseline)
+        assert len(again.findings) == 1
+        assert again.absorbed == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+        bad.write_text('{"version": 99, "entries": []}', encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+
+# ----------------------------------------------------------------------
+# Output formats
+# ----------------------------------------------------------------------
+class TestFormats:
+    FINDING = Finding(
+        path="repro/kernels/x.py", line=3, col=5, rule="det-id-key",
+        severity="error", message="id() is an address",
+    )
+
+    def test_github_annotation_shape(self):
+        text = self.FINDING.format_github()
+        assert text.startswith("::error file=repro/kernels/x.py,line=3,")
+        assert "title=det-id-key::" in text
+
+    def test_json_summary(self):
+        payload = json.loads(
+            render([self.FINDING], "json", files_checked=1, absorbed=0)
+        )
+        assert payload["summary"]["errors"] == 1
+        assert payload["summary"]["by_rule"] == {"det-id-key": 1}
+        assert payload["findings"][0]["line"] == 3
+
+    def test_human_counts(self):
+        text = render([self.FINDING], "human", files_checked=7, absorbed=2)
+        assert "7 files checked: 1 error(s), 0 warning(s)" in text
+        assert "2 baselined finding(s) absorbed" in text
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes: 0 clean / 1 findings / 2 usage errors
+# ----------------------------------------------------------------------
+class TestCliExitCodes:
+    def _empty_baseline(self, tmp_path) -> str:
+        return str(tmp_path / "baseline.json")
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        good = FIXTURES / "repro" / "kernels" / "det_good.py"
+        assert lint_main([str(good), "--baseline", self._empty_baseline(tmp_path)]) == 0
+
+    def test_findings_exit_one(self, tmp_path):
+        bad = FIXTURES / "repro" / "kernels" / "det_bad.py"
+        assert lint_main([str(bad), "--baseline", self._empty_baseline(tmp_path)]) == 1
+
+    def test_warnings_fail_only_under_strict(self, tmp_path):
+        tree = tmp_path / "repro" / "kernels"
+        tree.mkdir(parents=True)
+        warn = tree / "warn.py"
+        warn.write_text("def f(v):\n    return sum(v)\n", encoding="utf-8")
+        args = [str(warn), "--baseline", self._empty_baseline(tmp_path)]
+        assert lint_main(args) == 0
+        assert lint_main(args + ["--strict"]) == 1
+
+    def test_bad_path_exits_two(self, tmp_path):
+        missing = str(tmp_path / "does-not-exist")
+        assert lint_main([missing]) == 2
+
+    def test_unknown_rule_exits_two(self):
+        good = FIXTURES / "repro" / "kernels" / "det_good.py"
+        assert lint_main([str(good), "--select", "no-such-rule"]) == 2
+
+    def test_corrupt_baseline_exits_two(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("[]", encoding="utf-8")
+        good = FIXTURES / "repro" / "kernels" / "det_good.py"
+        assert lint_main([str(good), "--baseline", str(bad)]) == 2
+
+    def test_update_baseline_then_clean(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        bad = FIXTURES / "repro" / "kernels" / "det_bad.py"
+        args = [str(bad), "--baseline", str(baseline)]
+        assert lint_main(args + ["--update-baseline"]) == 0
+        assert baseline.exists()
+        assert lint_main(args) == 0  # baselined debt no longer fails
+
+    def test_list_rules_exits_zero(self):
+        assert lint_main(["--list-rules"]) == 0
+
+
+# ----------------------------------------------------------------------
+# The repository's own contract
+# ----------------------------------------------------------------------
+class TestRepositoryClean:
+    def test_src_tree_clean_and_fast(self):
+        start = time.perf_counter()
+        result = run_lint(
+            [SRC], root=REPO_ROOT,
+            baseline_path=REPO_ROOT / "lint-baseline.json",
+        )
+        elapsed = time.perf_counter() - start
+        assert result.files_checked > 50
+        assert result.findings == [], "\n".join(
+            f.format_human() for f in result.findings
+        )
+        assert elapsed < 5.0, f"full-tree lint took {elapsed:.2f}s (budget 5s)"
+
+    def test_committed_baseline_is_empty(self):
+        payload = json.loads(
+            (REPO_ROOT / "lint-baseline.json").read_text(encoding="utf-8")
+        )
+        assert payload["entries"] == []
+
+    def test_repro_cli_wires_lint_subcommand(self):
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        clean = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src", "--strict"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        )
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        usage = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "no-such-dir"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        )
+        assert usage.returncode == 2, usage.stdout + usage.stderr
+
+    def test_iter_python_files_skips_caches(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "real.py").write_text("x = 1\n")
+        files = iter_python_files([tmp_path])
+        assert [p.name for p in files] == ["real.py"]

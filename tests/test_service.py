@@ -303,6 +303,62 @@ class TestQueueMechanics:
             session.submit(move_only_batch(layout_from_dict(design), rng))
         assert excinfo.value.code == "session_closed"
 
+    def test_counters_consistent_under_concurrent_readers(self):
+        """Regression for the lck-unguarded fixes in Session.
+
+        Dispatcher counters and the ledger are now mutated and read only
+        under ``_mutex``; hammering one session from many submitter
+        threads while another thread polls ``stats()``/``counters()``
+        must end with counts that reconcile exactly against what was
+        submitted (and must not crash the poller mid-snapshot).
+        """
+        session, design = self._session()
+        rng = np.random.default_rng(11)
+        layout = layout_from_dict(design)
+        batches = [move_only_batch(layout, rng) for _ in range(12)]
+        stop = threading.Event()
+        snapshots = []
+
+        def poll():
+            while not stop.is_set():
+                snapshots.append((session.counters(), session.stats()))
+
+        poller = threading.Thread(target=poll, daemon=True)
+        poller.start()
+        threads = [
+            threading.Thread(target=session.submit, args=(batch,))
+            for batch in batches
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        session.barrier()
+        stop.set()
+        poller.join(timeout=10.0)
+        assert not poller.is_alive()
+        counters = session.counters()
+        stats = session.stats()
+        assert stats["ledger_entries"] == len(batches)
+        assert 1 <= counters["dispatches"] <= len(batches) + 1  # + barrier
+        assert counters["coalesced_batches"] <= len(batches) - 1
+        # Every polled snapshot was internally sane (no torn reads).
+        for polled_counters, polled_stats in snapshots:
+            assert 0 <= polled_counters["coalesced_batches"] <= len(batches)
+            assert polled_stats["ledger_entries"] <= len(batches)
+        final = session.close()
+        replayed = offline_replay(design, final["ledger"], session.config)
+        assert layout_fingerprint(replayed) == final["fingerprint"]
+
+    def test_close_returns_ledger_snapshot(self):
+        """close() hands back a copy, not the live (guarded) ledger list."""
+        session, design = self._session()
+        rng = np.random.default_rng(2)
+        session.submit(move_only_batch(layout_from_dict(design), rng))
+        final = session.close()
+        assert final["ledger"] is not session.ledger
+        assert final["ledger"] == session.ledger
+
 
 # ----------------------------------------------------------------------
 # Protocol error paths — each must leave the daemon serving
@@ -670,3 +726,17 @@ class TestAdmissionAndShutdown:
                 client.open_session(design, config={"backend": "python"})
             assert excinfo.value.code == "shutting_down"
         srv.close()
+
+    def test_ping_reports_draining(self):
+        """Regression for the lck-unguarded fix: ping reads ``_draining``
+        under the server mutex, so a drain started on another thread is
+        visible to clients immediately and consistently."""
+        srv = LegalizationServer(ServeConfig(port=0)).start()
+        try:
+            with connect(srv) as client:
+                assert client.ping()["draining"] is False
+                with srv._mutex:
+                    srv._draining = True
+                assert client.ping()["draining"] is True
+        finally:
+            srv.close()
